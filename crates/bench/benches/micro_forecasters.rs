@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks of the NWS forecaster battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagrid_simnet::rng::SimRng;
+use datagrid_sysmon::nws::forecast::MetaForecaster;
+use std::hint::black_box;
+
+fn bench_battery(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(3);
+    let samples: Vec<f64> = (0..1000).map(|_| rng.normal(50.0, 10.0).abs()).collect();
+
+    c.bench_function("nws/battery_update_1000", |b| {
+        b.iter(|| {
+            let mut meta = MetaForecaster::nws_battery();
+            for &s in &samples {
+                meta.update(s);
+            }
+            black_box(meta.forecast())
+        });
+    });
+
+    let mut warmed = MetaForecaster::nws_battery();
+    for &s in &samples {
+        warmed.update(s);
+    }
+    c.bench_function("nws/forecast_query", |b| {
+        b.iter(|| black_box(warmed.forecast()));
+    });
+}
+
+criterion_group!(benches, bench_battery);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Shared helpers for the experiment reproducers (`src/bin/*`) and the
+//! criterion micro-benchmarks (`benches/*`).
+//!
+//! One binary per paper artefact:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig3` | Fig. 3 — FTP vs GridFTP transfer time |
+//! | `fig4` | Fig. 4 — GridFTP parallel data transfer |
+//! | `table1` | Table 1 — cost model scores vs measured transfer time |
+//! | `fig5` | Fig. 5 — the cost program (time series + sorted list) |
+//! | `ablation_weights` | future work §5(2) — weight sweep |
+//! | `ablation_policies` | policy comparison vs oracle |
+//! | `ablation_striped` | future work §5(1) — striped transfers |
+//! | `ablation_scale` | future work §5(3) — larger dynamic grids |
+//! | `ablation_forecasters` | NWS forecaster accuracy |
+//! | `ablation_security` | FTP vs GridFTP PROT C/S/P cost |
+//! | `ablation_replication` | dynamic replica creation strategies |
+
+#![warn(missing_docs)]
+
+use datagrid_core::grid::DataGrid;
+use datagrid_simnet::time::SimDuration;
+use datagrid_testbed::calibration::Calibration;
+use datagrid_testbed::sites::paper_testbed_with;
+
+/// Bytes per megabyte as the paper counts them (2^20).
+pub const MB: u64 = 1 << 20;
+
+/// The file sizes of Figs. 3 and 4, in megabytes.
+pub const PAPER_SIZES_MB: [u64; 4] = [256, 512, 1024, 2048];
+
+/// The default experiment seed. Every binary prints it; pass a different
+/// one as the first CLI argument to resample.
+pub const DEFAULT_SEED: u64 = 20050905; // PaCT 2005 in Krasnoyarsk
+
+/// Reads the seed from the first CLI argument, defaulting to
+/// [`DEFAULT_SEED`].
+pub fn seed_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(name: &str, seed: u64) {
+    println!("=== {name} (seed {seed}) ===");
+    println!(
+        "testbed: THU (4x dual Athlon MP 2.0GHz, 1Gbps) / Li-Zen (4x Celeron 900MHz, 30Mbps) / \
+         HIT (4x P4 2.8GHz, 1Gbps) -- simulated"
+    );
+    println!();
+}
+
+/// Builds the paper testbed, warmed up so NWS sensors and load processes
+/// have history.
+pub fn warmed_paper_grid(seed: u64, warm: SimDuration) -> DataGrid {
+    let (builder, _) = paper_testbed_with(seed, &Calibration::default());
+    let mut grid = builder.build();
+    grid.warm_up(warm);
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmed_grid_is_ready() {
+        let grid = warmed_paper_grid(1, SimDuration::from_secs(60));
+        assert_eq!(grid.now().as_secs_f64(), 60.0);
+    }
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(PAPER_SIZES_MB, [256, 512, 1024, 2048]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Attribute-based data discovery.
+//!
+//! In the paper's scenario (its Fig. 1), the application does not start
+//! from a file name: it "specifies the characteristics of the desired
+//! data and passes this attribute description to the replica catalog
+//! server", which "queries its database and produces a list of logical
+//! files that contain data with the specified characteristics". This
+//! module provides that attribute layer: free-form key/value metadata on
+//! logical files plus a conjunctive query.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A validated attribute key: non-empty, ≤ 64 bytes, `[a-z0-9_-]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttributeKey(String);
+
+impl AttributeKey {
+    /// Validates and wraps a key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string if it violates the rules above.
+    pub fn new(key: impl Into<String>) -> Result<Self, String> {
+        let key = key.into();
+        let ok = !key.is_empty()
+            && key.len() <= 64
+            && key
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'_' | b'-'));
+        if ok {
+            Ok(AttributeKey(key))
+        } else {
+            Err(key)
+        }
+    }
+
+    /// The key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AttributeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for AttributeKey {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AttributeKey::new(s)
+    }
+}
+
+/// A set of key/value attributes describing a logical file's contents
+/// (experiment, organism, run number, data format, ...).
+///
+/// ```
+/// use datagrid_catalog::attributes::AttributeSet;
+///
+/// let mut attrs = AttributeSet::new();
+/// attrs.set("experiment".parse().unwrap(), "cms");
+/// attrs.set("run".parse().unwrap(), "42");
+/// assert!(attrs.matches(&[("experiment", "cms")]));
+/// assert!(!attrs.matches(&[("experiment", "atlas")]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributeSet {
+    entries: BTreeMap<AttributeKey, String>,
+}
+
+impl AttributeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AttributeSet::default()
+    }
+
+    /// Sets one attribute, returning the previous value if any.
+    pub fn set(&mut self, key: AttributeKey, value: impl Into<String>) -> Option<String> {
+        self.entries.insert(key, value.into())
+    }
+
+    /// Looks one attribute up.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        AttributeKey::new(key)
+            .ok()
+            .and_then(|k| self.entries.get(&k))
+            .map(String::as_str)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&AttributeKey, &str)> {
+        self.entries.iter().map(|(k, v)| (k, v.as_str()))
+    }
+
+    /// Conjunctive match: `true` iff every `(key, value)` pair in `query`
+    /// is present with exactly that value. An empty query matches
+    /// everything (the catalog-wide listing).
+    pub fn matches(&self, query: &[(&str, &str)]) -> bool {
+        query.iter().all(|(k, v)| self.get(k) == Some(*v))
+    }
+}
+
+impl FromIterator<(AttributeKey, String)> for AttributeSet {
+    fn from_iter<T: IntoIterator<Item = (AttributeKey, String)>>(iter: T) -> Self {
+        AttributeSet {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_validation() {
+        assert!(AttributeKey::new("experiment").is_ok());
+        assert!(AttributeKey::new("run_42-x").is_ok());
+        for bad in ["", "UPPER", "has space", "ünïcode"] {
+            assert!(AttributeKey::new(bad).is_err(), "{bad:?}");
+        }
+        let long = "k".repeat(65);
+        assert!(AttributeKey::new(long).is_err());
+    }
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut a = AttributeSet::new();
+        assert!(a.is_empty());
+        assert_eq!(a.set("organism".parse().unwrap(), "e-coli"), None);
+        assert_eq!(
+            a.set("organism".parse().unwrap(), "yeast"),
+            Some("e-coli".to_string())
+        );
+        assert_eq!(a.get("organism"), Some("yeast"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get("INVALID KEY"), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn conjunctive_matching() {
+        let mut a = AttributeSet::new();
+        a.set("experiment".parse().unwrap(), "cms");
+        a.set("run".parse().unwrap(), "42");
+        a.set("format".parse().unwrap(), "root");
+        assert!(a.matches(&[]));
+        assert!(a.matches(&[("experiment", "cms")]));
+        assert!(a.matches(&[("experiment", "cms"), ("run", "42")]));
+        assert!(!a.matches(&[("experiment", "cms"), ("run", "43")]));
+        assert!(!a.matches(&[("site", "thu")]));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut a = AttributeSet::new();
+        a.set("z".parse().unwrap(), "1");
+        a.set("a".parse().unwrap(), "2");
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

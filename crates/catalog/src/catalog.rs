@@ -1,0 +1,479 @@
+//! The replica catalog: logical files, their replicas, and collections.
+
+use std::collections::BTreeMap;
+
+use crate::attributes::{AttributeKey, AttributeSet};
+use crate::collection::LogicalCollection;
+use crate::entry::LogicalFileEntry;
+use crate::error::CatalogError;
+use crate::name::{LogicalFileName, PhysicalFileName};
+
+/// A registered logical file together with its replica locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRecord {
+    entry: LogicalFileEntry,
+    locations: Vec<PhysicalFileName>,
+}
+
+impl FileRecord {
+    /// The logical file metadata.
+    pub fn entry(&self) -> &LogicalFileEntry {
+        &self.entry
+    }
+
+    /// The registered replica locations, in registration order.
+    pub fn locations(&self) -> &[PhysicalFileName] {
+        &self.locations
+    }
+}
+
+/// The replica catalog server's database.
+///
+/// ```
+/// use datagrid_catalog::ReplicaCatalog;
+///
+/// let mut cat = ReplicaCatalog::new();
+/// cat.register_logical("file-a".parse().unwrap(), 1 << 30).unwrap();
+/// cat.add_replica(&"file-a".parse().unwrap(), "gsiftp://hit0/data/file-a".parse().unwrap()).unwrap();
+/// let locations = cat.replicas(&"file-a".parse().unwrap()).unwrap();
+/// assert_eq!(locations.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaCatalog {
+    files: BTreeMap<LogicalFileName, FileRecord>,
+    collections: BTreeMap<LogicalFileName, LogicalCollection>,
+}
+
+impl ReplicaCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ReplicaCatalog::default()
+    }
+
+    /// Registers a new logical file with no replicas yet.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::DuplicateFile`] if the name is already registered.
+    pub fn register_logical(
+        &mut self,
+        name: LogicalFileName,
+        size_bytes: u64,
+    ) -> Result<&LogicalFileEntry, CatalogError> {
+        if self.files.contains_key(&name) {
+            return Err(CatalogError::DuplicateFile {
+                name: name.to_string(),
+            });
+        }
+        let entry = LogicalFileEntry::new(name.clone(), size_bytes);
+        let rec = self.files.entry(name).or_insert(FileRecord {
+            entry,
+            locations: Vec::new(),
+        });
+        Ok(rec.entry())
+    }
+
+    /// Registers a new logical file with content attributes attached.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::DuplicateFile`] if the name is already registered.
+    pub fn register_logical_with_attributes(
+        &mut self,
+        name: LogicalFileName,
+        size_bytes: u64,
+        attributes: AttributeSet,
+    ) -> Result<&LogicalFileEntry, CatalogError> {
+        if self.files.contains_key(&name) {
+            return Err(CatalogError::DuplicateFile {
+                name: name.to_string(),
+            });
+        }
+        let entry = LogicalFileEntry::new(name.clone(), size_bytes).with_attributes(attributes);
+        let rec = self.files.entry(name).or_insert(FileRecord {
+            entry,
+            locations: Vec::new(),
+        });
+        Ok(rec.entry())
+    }
+
+    /// Sets one content attribute on a registered file.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownFile`] if the file is not registered.
+    pub fn set_attribute(
+        &mut self,
+        name: &LogicalFileName,
+        key: AttributeKey,
+        value: impl Into<String>,
+    ) -> Result<(), CatalogError> {
+        let rec = self.files.get_mut(name).ok_or_else(|| CatalogError::UnknownFile {
+            name: name.to_string(),
+        })?;
+        rec.entry.attributes_mut().set(key, value);
+        Ok(())
+    }
+
+    /// Data discovery (the first step of the paper's Fig. 1 scenario):
+    /// logical files whose attributes match every `(key, value)` pair of
+    /// the query, in name order. An empty query lists everything.
+    pub fn find_by_attributes(&self, query: &[(&str, &str)]) -> Vec<&LogicalFileEntry> {
+        self.files
+            .values()
+            .filter(|r| r.entry.attributes().matches(query))
+            .map(FileRecord::entry)
+            .collect()
+    }
+
+    /// Unregisters a logical file and all its replica registrations.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownFile`] if the name is not registered.
+    pub fn unregister_logical(&mut self, name: &LogicalFileName) -> Result<FileRecord, CatalogError> {
+        let rec = self.files.remove(name).ok_or_else(|| CatalogError::UnknownFile {
+            name: name.to_string(),
+        })?;
+        for coll in self.collections.values_mut() {
+            coll.remove(name);
+        }
+        Ok(rec)
+    }
+
+    /// Registers a replica location for a logical file.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownFile`] if the file is not registered,
+    /// [`CatalogError::DuplicateReplica`] if the location already is.
+    pub fn add_replica(
+        &mut self,
+        name: &LogicalFileName,
+        location: PhysicalFileName,
+    ) -> Result<(), CatalogError> {
+        let rec = self.files.get_mut(name).ok_or_else(|| CatalogError::UnknownFile {
+            name: name.to_string(),
+        })?;
+        if rec.locations.contains(&location) {
+            return Err(CatalogError::DuplicateReplica {
+                name: name.to_string(),
+                location: location.to_string(),
+            });
+        }
+        rec.locations.push(location);
+        Ok(())
+    }
+
+    /// Removes one replica registration. The last replica of a registered
+    /// file cannot be removed (unregister the file instead), mirroring the
+    /// Globus replica manager's safety rule.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownFile`], [`CatalogError::UnknownReplica`] or
+    /// [`CatalogError::LastReplica`].
+    pub fn remove_replica(
+        &mut self,
+        name: &LogicalFileName,
+        location: &PhysicalFileName,
+    ) -> Result<(), CatalogError> {
+        let rec = self.files.get_mut(name).ok_or_else(|| CatalogError::UnknownFile {
+            name: name.to_string(),
+        })?;
+        let idx = rec
+            .locations
+            .iter()
+            .position(|l| l == location)
+            .ok_or_else(|| CatalogError::UnknownReplica {
+                name: name.to_string(),
+                location: location.to_string(),
+            })?;
+        if rec.locations.len() == 1 {
+            return Err(CatalogError::LastReplica {
+                name: name.to_string(),
+            });
+        }
+        rec.locations.remove(idx);
+        Ok(())
+    }
+
+    /// Looks up a logical file's record.
+    pub fn lookup(&self, name: &LogicalFileName) -> Option<&FileRecord> {
+        self.files.get(name)
+    }
+
+    /// The replica locations of a logical file.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownFile`] if the file is not registered.
+    pub fn replicas(&self, name: &LogicalFileName) -> Result<&[PhysicalFileName], CatalogError> {
+        self.files
+            .get(name)
+            .map(|r| r.locations.as_slice())
+            .ok_or_else(|| CatalogError::UnknownFile {
+                name: name.to_string(),
+            })
+    }
+
+    /// Lists registered logical files whose names start with `prefix`
+    /// (empty prefix lists everything), in name order.
+    pub fn list(&self, prefix: &str) -> Vec<&LogicalFileEntry> {
+        self.files
+            .values()
+            .filter(|r| r.entry.name().has_prefix(prefix))
+            .map(FileRecord::entry)
+            .collect()
+    }
+
+    /// Number of registered logical files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Creates an empty collection.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::DuplicateCollection`] if the name is taken.
+    pub fn create_collection(&mut self, name: LogicalFileName) -> Result<(), CatalogError> {
+        if self.collections.contains_key(&name) {
+            return Err(CatalogError::DuplicateCollection {
+                name: name.to_string(),
+            });
+        }
+        self.collections
+            .insert(name.clone(), LogicalCollection::new(name));
+        Ok(())
+    }
+
+    /// Adds a registered file to a collection.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownCollection`] or [`CatalogError::UnknownFile`].
+    pub fn add_to_collection(
+        &mut self,
+        collection: &LogicalFileName,
+        member: &LogicalFileName,
+    ) -> Result<(), CatalogError> {
+        if !self.files.contains_key(member) {
+            return Err(CatalogError::UnknownFile {
+                name: member.to_string(),
+            });
+        }
+        let coll =
+            self.collections
+                .get_mut(collection)
+                .ok_or_else(|| CatalogError::UnknownCollection {
+                    name: collection.to_string(),
+                })?;
+        coll.insert(member.clone());
+        Ok(())
+    }
+
+    /// Looks up a collection.
+    pub fn collection(&self, name: &LogicalFileName) -> Option<&LogicalCollection> {
+        self.collections.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lfn(s: &str) -> LogicalFileName {
+        s.parse().unwrap()
+    }
+
+    fn pfn(s: &str) -> PhysicalFileName {
+        s.parse().unwrap()
+    }
+
+    fn catalog_with_file() -> ReplicaCatalog {
+        let mut c = ReplicaCatalog::new();
+        c.register_logical(lfn("file-a"), 1 << 30).unwrap();
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = catalog_with_file();
+        let rec = c.lookup(&lfn("file-a")).unwrap();
+        assert_eq!(rec.entry().size_bytes(), 1 << 30);
+        assert!(rec.locations().is_empty());
+        assert_eq!(c.file_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut c = catalog_with_file();
+        let err = c.register_logical(lfn("file-a"), 5).unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateFile { .. }));
+    }
+
+    #[test]
+    fn add_and_list_replicas() {
+        let mut c = catalog_with_file();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://alpha4/d/f")).unwrap();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://hit0/d/f")).unwrap();
+        let locs = c.replicas(&lfn("file-a")).unwrap();
+        assert_eq!(locs.len(), 2);
+        assert_eq!(locs[0].host(), "alpha4");
+        let err = c
+            .add_replica(&lfn("file-a"), pfn("gsiftp://hit0/d/f"))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateReplica { .. }));
+    }
+
+    #[test]
+    fn replica_for_unknown_file_rejected() {
+        let mut c = ReplicaCatalog::new();
+        let err = c
+            .add_replica(&lfn("ghost"), pfn("gsiftp://h/p"))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::UnknownFile { .. }));
+        assert!(matches!(
+            c.replicas(&lfn("ghost")).unwrap_err(),
+            CatalogError::UnknownFile { .. }
+        ));
+    }
+
+    #[test]
+    fn remove_replica_protects_last_copy() {
+        let mut c = catalog_with_file();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://a/f")).unwrap();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://b/f")).unwrap();
+        c.remove_replica(&lfn("file-a"), &pfn("gsiftp://a/f")).unwrap();
+        let err = c
+            .remove_replica(&lfn("file-a"), &pfn("gsiftp://b/f"))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::LastReplica { .. }));
+        let err = c
+            .remove_replica(&lfn("file-a"), &pfn("gsiftp://zzz/f"))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::UnknownReplica { .. }));
+    }
+
+    #[test]
+    fn unregister_removes_file_and_collection_membership() {
+        let mut c = catalog_with_file();
+        c.create_collection(lfn("bio")).unwrap();
+        c.add_to_collection(&lfn("bio"), &lfn("file-a")).unwrap();
+        assert!(c.collection(&lfn("bio")).unwrap().contains(&lfn("file-a")));
+        c.unregister_logical(&lfn("file-a")).unwrap();
+        assert!(c.lookup(&lfn("file-a")).is_none());
+        assert!(!c.collection(&lfn("bio")).unwrap().contains(&lfn("file-a")));
+        assert!(matches!(
+            c.unregister_logical(&lfn("file-a")).unwrap_err(),
+            CatalogError::UnknownFile { .. }
+        ));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut c = ReplicaCatalog::new();
+        c.register_logical(lfn("hep/a"), 1).unwrap();
+        c.register_logical(lfn("hep/b"), 2).unwrap();
+        c.register_logical(lfn("bio/x"), 3).unwrap();
+        let hep = c.list("hep/");
+        assert_eq!(hep.len(), 2);
+        assert_eq!(hep[0].name().as_str(), "hep/a");
+        assert_eq!(c.list("").len(), 3);
+        assert!(c.list("nope").is_empty());
+    }
+
+    #[test]
+    fn collections_workflow() {
+        let mut c = catalog_with_file();
+        c.create_collection(lfn("bio")).unwrap();
+        assert!(matches!(
+            c.create_collection(lfn("bio")).unwrap_err(),
+            CatalogError::DuplicateCollection { .. }
+        ));
+        assert!(matches!(
+            c.add_to_collection(&lfn("nope"), &lfn("file-a")).unwrap_err(),
+            CatalogError::UnknownCollection { .. }
+        ));
+        assert!(matches!(
+            c.add_to_collection(&lfn("bio"), &lfn("ghost")).unwrap_err(),
+            CatalogError::UnknownFile { .. }
+        ));
+        c.add_to_collection(&lfn("bio"), &lfn("file-a")).unwrap();
+        assert_eq!(c.collection(&lfn("bio")).unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod attribute_tests {
+    use super::*;
+
+    fn lfn(s: &str) -> LogicalFileName {
+        s.parse().unwrap()
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> AttributeSet {
+        let mut a = AttributeSet::new();
+        for (k, v) in pairs {
+            a.set(k.parse().unwrap(), *v);
+        }
+        a
+    }
+
+    #[test]
+    fn register_with_attributes_and_discover() {
+        let mut c = ReplicaCatalog::new();
+        c.register_logical_with_attributes(
+            lfn("hep/run42/events"),
+            1 << 30,
+            attrs(&[("experiment", "cms"), ("run", "42")]),
+        )
+        .unwrap();
+        c.register_logical_with_attributes(
+            lfn("hep/run43/events"),
+            1 << 30,
+            attrs(&[("experiment", "cms"), ("run", "43")]),
+        )
+        .unwrap();
+        c.register_logical_with_attributes(
+            lfn("bio/nr"),
+            2 << 30,
+            attrs(&[("organism", "all"), ("format", "fasta")]),
+        )
+        .unwrap();
+
+        let cms = c.find_by_attributes(&[("experiment", "cms")]);
+        assert_eq!(cms.len(), 2);
+        let run42 = c.find_by_attributes(&[("experiment", "cms"), ("run", "42")]);
+        assert_eq!(run42.len(), 1);
+        assert_eq!(run42[0].name().as_str(), "hep/run42/events");
+        assert!(c.find_by_attributes(&[("experiment", "atlas")]).is_empty());
+        // Empty query lists the whole catalogue.
+        assert_eq!(c.find_by_attributes(&[]).len(), 3);
+    }
+
+    #[test]
+    fn set_attribute_after_registration() {
+        let mut c = ReplicaCatalog::new();
+        c.register_logical(lfn("plain"), 10).unwrap();
+        assert!(c.find_by_attributes(&[("tier", "2")]).is_empty());
+        c.set_attribute(&lfn("plain"), "tier".parse().unwrap(), "2")
+            .unwrap();
+        assert_eq!(c.find_by_attributes(&[("tier", "2")]).len(), 1);
+        assert!(matches!(
+            c.set_attribute(&lfn("ghost"), "tier".parse().unwrap(), "2"),
+            Err(CatalogError::UnknownFile { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attributed_registration_rejected() {
+        let mut c = ReplicaCatalog::new();
+        c.register_logical(lfn("f"), 1).unwrap();
+        assert!(matches!(
+            c.register_logical_with_attributes(lfn("f"), 1, AttributeSet::new()),
+            Err(CatalogError::DuplicateFile { .. })
+        ));
+    }
+}

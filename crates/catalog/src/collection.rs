@@ -1,0 +1,106 @@
+//! Logical collections.
+//!
+//! The Globus replica catalog organises logical files into *collections*
+//! (e.g. one per experiment run); applications can register and locate
+//! whole collections at once.
+
+use std::collections::BTreeSet;
+
+use crate::name::LogicalFileName;
+
+/// A named set of logical files.
+///
+/// ```
+/// use datagrid_catalog::collection::LogicalCollection;
+///
+/// let mut c = LogicalCollection::new("hep-run42".parse().unwrap());
+/// c.insert("hep/run42/a.dat".parse().unwrap());
+/// assert_eq!(c.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalCollection {
+    name: LogicalFileName,
+    members: BTreeSet<LogicalFileName>,
+}
+
+impl LogicalCollection {
+    /// Creates an empty collection. Collection names share the LFN rules.
+    pub fn new(name: LogicalFileName) -> Self {
+        LogicalCollection {
+            name,
+            members: BTreeSet::new(),
+        }
+    }
+
+    /// The collection name.
+    pub fn name(&self) -> &LogicalFileName {
+        &self.name
+    }
+
+    /// Adds a member; returns `false` if it was already present.
+    pub fn insert(&mut self, member: LogicalFileName) -> bool {
+        self.members.insert(member)
+    }
+
+    /// Removes a member; returns `false` if it was not present.
+    pub fn remove(&mut self, member: &LogicalFileName) -> bool {
+        self.members.remove(member)
+    }
+
+    /// `true` if the file is a member.
+    pub fn contains(&self, member: &LogicalFileName) -> bool {
+        self.members.contains(member)
+    }
+
+    /// Iterates members in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogicalFileName> {
+        self.members.iter()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the collection has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Extend<LogicalFileName> for LogicalCollection {
+    fn extend<T: IntoIterator<Item = LogicalFileName>>(&mut self, iter: T) {
+        self.members.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lfn(s: &str) -> LogicalFileName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut c = LogicalCollection::new(lfn("runs"));
+        assert!(c.is_empty());
+        assert!(c.insert(lfn("a")));
+        assert!(!c.insert(lfn("a")));
+        assert!(c.contains(&lfn("a")));
+        assert!(c.remove(&lfn("a")));
+        assert!(!c.remove(&lfn("a")));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn members_iterate_in_order() {
+        let mut c = LogicalCollection::new(lfn("runs"));
+        c.extend([lfn("c"), lfn("a"), lfn("b")]);
+        let names: Vec<&str> = c.iter().map(|m| m.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.name().as_str(), "runs");
+    }
+}

@@ -1,0 +1,119 @@
+//! Logical file metadata.
+
+use crate::attributes::AttributeSet;
+use crate::name::LogicalFileName;
+
+/// Metadata describing one logical file, independent of where its replicas
+/// live.
+///
+/// ```
+/// use datagrid_catalog::entry::LogicalFileEntry;
+/// use datagrid_catalog::name::LogicalFileName;
+///
+/// let entry = LogicalFileEntry::new("file-a".parse().unwrap(), 1 << 30);
+/// assert_eq!(entry.size_bytes(), 1 << 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalFileEntry {
+    name: LogicalFileName,
+    size_bytes: u64,
+    checksum: u64,
+    attributes: AttributeSet,
+}
+
+impl LogicalFileEntry {
+    /// Creates an entry; the checksum token is derived from name and size
+    /// (a stand-in for a real content digest, sufficient to detect
+    /// mismatched registrations in the simulation).
+    pub fn new(name: LogicalFileName, size_bytes: u64) -> Self {
+        let checksum = Self::pseudo_digest(name.as_str(), size_bytes);
+        LogicalFileEntry {
+            name,
+            size_bytes,
+            checksum,
+            attributes: AttributeSet::new(),
+        }
+    }
+
+    /// Attaches content attributes (builder style).
+    pub fn with_attributes(mut self, attributes: AttributeSet) -> Self {
+        self.attributes = attributes;
+        self
+    }
+
+    /// The logical name.
+    pub fn name(&self) -> &LogicalFileName {
+        &self.name
+    }
+
+    /// File size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// The content digest token.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// The content attributes used for data discovery.
+    pub fn attributes(&self) -> &AttributeSet {
+        &self.attributes
+    }
+
+    /// Mutable access to the content attributes.
+    pub fn attributes_mut(&mut self) -> &mut AttributeSet {
+        &mut self.attributes
+    }
+
+    /// Verifies that a transferred byte count and digest match this entry.
+    pub fn matches(&self, size_bytes: u64, checksum: u64) -> bool {
+        self.size_bytes == size_bytes && self.checksum == checksum
+    }
+
+    /// FNV-1a over the name bytes mixed with the size; deterministic and
+    /// collision-unlikely at catalogue scale.
+    fn pseudo_digest(name: &str, size: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ size.rotate_left(17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lfn(s: &str) -> LogicalFileName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let e = LogicalFileEntry::new(lfn("file-a"), 1024);
+        assert_eq!(e.name().as_str(), "file-a");
+        assert_eq!(e.size_bytes(), 1024);
+    }
+
+    #[test]
+    fn checksum_deterministic_and_discriminating() {
+        let a = LogicalFileEntry::new(lfn("file-a"), 1024);
+        let a2 = LogicalFileEntry::new(lfn("file-a"), 1024);
+        let b = LogicalFileEntry::new(lfn("file-b"), 1024);
+        let a_big = LogicalFileEntry::new(lfn("file-a"), 2048);
+        assert_eq!(a.checksum(), a2.checksum());
+        assert_ne!(a.checksum(), b.checksum());
+        assert_ne!(a.checksum(), a_big.checksum());
+    }
+
+    #[test]
+    fn matches_validates_both_fields() {
+        let e = LogicalFileEntry::new(lfn("file-a"), 1024);
+        assert!(e.matches(1024, e.checksum()));
+        assert!(!e.matches(1023, e.checksum()));
+        assert!(!e.matches(1024, e.checksum() ^ 1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Catalog error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CatalogError {
+    /// A logical or physical name failed validation.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// The logical file is not registered.
+    UnknownFile {
+        /// The requested logical name.
+        name: String,
+    },
+    /// The logical file is already registered.
+    DuplicateFile {
+        /// The conflicting logical name.
+        name: String,
+    },
+    /// The replica location is not registered for this file.
+    UnknownReplica {
+        /// The logical name.
+        name: String,
+        /// The physical location.
+        location: String,
+    },
+    /// The replica location is already registered for this file.
+    DuplicateReplica {
+        /// The logical name.
+        name: String,
+        /// The physical location.
+        location: String,
+    },
+    /// The last replica of a file cannot be removed while the file stays
+    /// registered.
+    LastReplica {
+        /// The logical name.
+        name: String,
+    },
+    /// The collection is not registered.
+    UnknownCollection {
+        /// The requested collection name.
+        name: String,
+    },
+    /// The collection is already registered.
+    DuplicateCollection {
+        /// The conflicting collection name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::InvalidName { name } => write!(f, "invalid name {name:?}"),
+            CatalogError::UnknownFile { name } => write!(f, "unknown logical file {name:?}"),
+            CatalogError::DuplicateFile { name } => {
+                write!(f, "logical file {name:?} already registered")
+            }
+            CatalogError::UnknownReplica { name, location } => {
+                write!(f, "no replica of {name:?} at {location}")
+            }
+            CatalogError::DuplicateReplica { name, location } => {
+                write!(f, "replica of {name:?} already registered at {location}")
+            }
+            CatalogError::LastReplica { name } => {
+                write!(f, "cannot remove the last replica of {name:?}")
+            }
+            CatalogError::UnknownCollection { name } => {
+                write!(f, "unknown collection {name:?}")
+            }
+            CatalogError::DuplicateCollection { name } => {
+                write!(f, "collection {name:?} already registered")
+            }
+        }
+    }
+}
+
+impl Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CatalogError::UnknownFile {
+            name: "file-a".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("file-a"));
+        assert!(s.starts_with("unknown"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CatalogError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! # datagrid-catalog
+//!
+//! A Globus-style **replica catalog** and replica management layer.
+//!
+//! The paper's replica selection scenario (its Fig. 1) starts with the
+//! application passing a *logical file name* to the replica catalog server,
+//! which returns the physical locations of all registered copies. This
+//! crate provides that service:
+//!
+//! * [`name`] — validated logical and physical file names,
+//! * [`entry`] — logical file metadata,
+//! * [`collection`] — logical collections grouping related files (the
+//!   structure of the LDAP-based Globus catalog),
+//! * [`catalog`] — the catalog itself: register, replicate, look up,
+//! * [`manager`] — a replica manager that keeps the catalog consistent
+//!   while copies are created and deleted through a pluggable transport
+//!   (GridFTP in the full stack).
+//!
+//! The crate is deliberately free of simulation dependencies so it can be
+//! reused and tested standalone.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attributes;
+pub mod catalog;
+pub mod collection;
+pub mod entry;
+pub mod error;
+pub mod manager;
+pub mod name;
+pub mod rls;
+
+pub use catalog::ReplicaCatalog;
+pub use error::CatalogError;
+pub use name::{LogicalFileName, PhysicalFileName};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::attributes::{AttributeKey, AttributeSet};
+    pub use crate::catalog::{FileRecord, ReplicaCatalog};
+    pub use crate::collection::LogicalCollection;
+    pub use crate::entry::LogicalFileEntry;
+    pub use crate::error::CatalogError;
+    pub use crate::manager::{ReplicaManager, ReplicaTransport, TransportError, TransportReceipt};
+    pub use crate::name::{LogicalFileName, PhysicalFileName};
+    pub use crate::rls::{LocalReplicaCatalog, LrcId, ReplicaLocationIndex};
+}

@@ -1,0 +1,212 @@
+//! Validated logical and physical file names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CatalogError;
+
+/// A logical file name (LFN): the location-independent identity of a data
+/// set, e.g. `file-a` or `hep/run42/events.dat`.
+///
+/// Valid names are non-empty, at most 255 bytes, use only
+/// `[A-Za-z0-9._/-]`, and neither start nor end with `/`.
+///
+/// ```
+/// use datagrid_catalog::name::LogicalFileName;
+///
+/// let lfn: LogicalFileName = "file-a".parse().unwrap();
+/// assert_eq!(lfn.as_str(), "file-a");
+/// assert!("bad name with spaces".parse::<LogicalFileName>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalFileName(String);
+
+impl LogicalFileName {
+    /// Validates and wraps a name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::InvalidName`] if the name violates the rules
+    /// above.
+    pub fn new(name: impl Into<String>) -> Result<Self, CatalogError> {
+        let name = name.into();
+        let ok = !name.is_empty()
+            && name.len() <= 255
+            && !name.starts_with('/')
+            && !name.ends_with('/')
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'/' | b'-'));
+        if ok {
+            Ok(LogicalFileName(name))
+        } else {
+            Err(CatalogError::InvalidName { name })
+        }
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// `true` if the name starts with `prefix` (used for wildcard-style
+    /// listing).
+    pub fn has_prefix(&self, prefix: &str) -> bool {
+        self.0.starts_with(prefix)
+    }
+}
+
+impl fmt::Display for LogicalFileName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for LogicalFileName {
+    type Err = CatalogError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LogicalFileName::new(s)
+    }
+}
+
+impl AsRef<str> for LogicalFileName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A physical file name (PFN): one concrete replica location, addressed as
+/// a host plus an absolute path, rendered as a `gsiftp://` URL.
+///
+/// ```
+/// use datagrid_catalog::name::PhysicalFileName;
+///
+/// let pfn = PhysicalFileName::new("hit0", "/data/file-a").unwrap();
+/// assert_eq!(pfn.to_string(), "gsiftp://hit0/data/file-a");
+/// let parsed: PhysicalFileName = "gsiftp://hit0/data/file-a".parse().unwrap();
+/// assert_eq!(parsed, pfn);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysicalFileName {
+    host: String,
+    path: String,
+}
+
+impl PhysicalFileName {
+    /// Creates a PFN from a host name and an absolute path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::InvalidName`] if the host is empty or
+    /// contains `/`, or the path is not absolute.
+    pub fn new(host: impl Into<String>, path: impl Into<String>) -> Result<Self, CatalogError> {
+        let host = host.into();
+        let path = path.into();
+        let host_ok = !host.is_empty()
+            && host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+        let path_ok = path.starts_with('/')
+            && path.len() > 1
+            && path
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'/' | b'-'));
+        if host_ok && path_ok {
+            Ok(PhysicalFileName { host, path })
+        } else {
+            Err(CatalogError::InvalidName {
+                name: format!("{host}:{path}"),
+            })
+        }
+    }
+
+    /// The storage host holding this replica.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The absolute path on that host.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl fmt::Display for PhysicalFileName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gsiftp://{}{}", self.host, self.path)
+    }
+}
+
+impl FromStr for PhysicalFileName {
+    type Err = CatalogError;
+
+    /// Parses a `gsiftp://host/path` URL.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix("gsiftp://")
+            .ok_or_else(|| CatalogError::InvalidName { name: s.to_string() })?;
+        let slash = rest.find('/').ok_or_else(|| CatalogError::InvalidName {
+            name: s.to_string(),
+        })?;
+        PhysicalFileName::new(&rest[..slash], &rest[slash..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_lfns() {
+        for n in ["file-a", "a", "hep/run42/events.dat", "x_1.2-3"] {
+            assert!(LogicalFileName::new(n).is_ok(), "{n} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_lfns() {
+        for n in ["", "/leading", "trailing/", "has space", "tab\there", "é"] {
+            assert!(LogicalFileName::new(n).is_err(), "{n:?} should be invalid");
+        }
+        let long = "x".repeat(256);
+        assert!(LogicalFileName::new(long).is_err());
+    }
+
+    #[test]
+    fn lfn_round_trips_through_str() {
+        let lfn: LogicalFileName = "file-a".parse().unwrap();
+        assert_eq!(lfn.to_string(), "file-a");
+        assert_eq!(lfn.as_ref(), "file-a");
+        assert!(lfn.has_prefix("file"));
+        assert!(!lfn.has_prefix("other"));
+    }
+
+    #[test]
+    fn pfn_construction_and_accessors() {
+        let pfn = PhysicalFileName::new("alpha4", "/storage/file-a").unwrap();
+        assert_eq!(pfn.host(), "alpha4");
+        assert_eq!(pfn.path(), "/storage/file-a");
+    }
+
+    #[test]
+    fn pfn_rejects_bad_parts() {
+        assert!(PhysicalFileName::new("", "/x").is_err());
+        assert!(PhysicalFileName::new("host/evil", "/x").is_err());
+        assert!(PhysicalFileName::new("host", "relative").is_err());
+        assert!(PhysicalFileName::new("host", "/").is_err());
+    }
+
+    #[test]
+    fn pfn_url_round_trip() {
+        let pfn = PhysicalFileName::new("lz02", "/data/file-a").unwrap();
+        let url = pfn.to_string();
+        let back: PhysicalFileName = url.parse().unwrap();
+        assert_eq!(back, pfn);
+    }
+
+    #[test]
+    fn pfn_parse_rejects_garbage() {
+        assert!("http://x/y".parse::<PhysicalFileName>().is_err());
+        assert!("gsiftp://hostonly".parse::<PhysicalFileName>().is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! A two-tier Replica Location Service (RLS).
+//!
+//! The flat replica catalog the paper uses was succeeded in Globus by the
+//! RLS architecture: every site runs a **Local Replica Catalog (LRC)**
+//! holding its own logical→physical mappings, and one or more **Replica
+//! Location Indices (RLI)** answer "which sites know this file?" from
+//! periodic *soft-state* summaries the LRCs push. Index entries expire
+//! unless refreshed, so a crashed or partitioned site silently drops out
+//! of answers instead of serving stale locations.
+//!
+//! This module is an extension beyond the paper (which queried a single
+//! catalog server); it scales the discovery step of the Fig. 1 scenario to
+//! many sites. Time is plain `u64` seconds so the crate stays free of
+//! simulation dependencies — callers feed in their clock.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::catalog::ReplicaCatalog;
+use crate::name::LogicalFileName;
+
+/// Identifier of a Local Replica Catalog within an RLS deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LrcId(pub u32);
+
+impl fmt::Display for LrcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lrc{}", self.0)
+    }
+}
+
+/// A site-local replica catalog: the site's name plus its mappings.
+///
+/// ```
+/// use datagrid_catalog::rls::LocalReplicaCatalog;
+///
+/// let mut lrc = LocalReplicaCatalog::new("thu");
+/// lrc.catalog_mut().register_logical("file-a".parse().unwrap(), 100).unwrap();
+/// assert_eq!(lrc.site(), "thu");
+/// assert_eq!(lrc.logical_names().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocalReplicaCatalog {
+    site: String,
+    catalog: ReplicaCatalog,
+}
+
+impl LocalReplicaCatalog {
+    /// Creates an empty LRC for a site.
+    pub fn new(site: impl Into<String>) -> Self {
+        LocalReplicaCatalog {
+            site: site.into(),
+            catalog: ReplicaCatalog::new(),
+        }
+    }
+
+    /// The owning site's name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &ReplicaCatalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the underlying catalog.
+    pub fn catalog_mut(&mut self) -> &mut ReplicaCatalog {
+        &mut self.catalog
+    }
+
+    /// The logical names this LRC would advertise in a soft-state summary
+    /// (every registered file with at least one local replica, plus files
+    /// registered without replicas — registration itself is knowledge).
+    pub fn logical_names(&self) -> Vec<LogicalFileName> {
+        self.catalog
+            .list("")
+            .into_iter()
+            .map(|e| e.name().clone())
+            .collect()
+    }
+}
+
+/// A Replica Location Index: soft-state map from logical names to the
+/// LRCs that (recently) claimed to know them.
+///
+/// ```
+/// use datagrid_catalog::rls::{LocalReplicaCatalog, LrcId, ReplicaLocationIndex};
+///
+/// let mut lrc = LocalReplicaCatalog::new("thu");
+/// lrc.catalog_mut().register_logical("file-a".parse().unwrap(), 100).unwrap();
+/// let mut rli = ReplicaLocationIndex::new(60);
+/// rli.absorb_summary(LrcId(0), &lrc, 0);
+/// assert_eq!(rli.lookup(&"file-a".parse().unwrap(), 30), vec![LrcId(0)]);
+/// assert!(rli.lookup(&"file-a".parse().unwrap(), 61).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaLocationIndex {
+    ttl_secs: u64,
+    /// lfn -> (lrc -> expiry time in seconds)
+    entries: BTreeMap<LogicalFileName, BTreeMap<LrcId, u64>>,
+}
+
+impl ReplicaLocationIndex {
+    /// Creates an index whose entries expire `ttl_secs` after the summary
+    /// that created them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_secs` is zero.
+    pub fn new(ttl_secs: u64) -> Self {
+        assert!(ttl_secs > 0, "soft-state TTL must be positive");
+        ReplicaLocationIndex {
+            ttl_secs,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configured TTL.
+    pub fn ttl_secs(&self) -> u64 {
+        self.ttl_secs
+    }
+
+    /// Absorbs a full soft-state summary from one LRC at time `now_secs`:
+    /// every advertised name is refreshed, and names the LRC no longer
+    /// advertises are dropped for that LRC immediately (a full summary is
+    /// authoritative for its sender).
+    pub fn absorb_summary(&mut self, lrc: LrcId, source: &LocalReplicaCatalog, now_secs: u64) {
+        let advertised: BTreeSet<LogicalFileName> =
+            source.logical_names().into_iter().collect();
+        // Drop entries from this LRC that are no longer advertised.
+        for (name, holders) in &mut self.entries {
+            if !advertised.contains(name) {
+                holders.remove(&lrc);
+            }
+        }
+        let expiry = now_secs.saturating_add(self.ttl_secs);
+        for name in advertised {
+            self.entries.entry(name).or_default().insert(lrc, expiry);
+        }
+        self.entries.retain(|_, holders| !holders.is_empty());
+    }
+
+    /// The LRCs whose knowledge of `name` has not expired at `now_secs`,
+    /// in id order.
+    pub fn lookup(&self, name: &LogicalFileName, now_secs: u64) -> Vec<LrcId> {
+        self.entries
+            .get(name)
+            .map(|holders| {
+                holders
+                    .iter()
+                    .filter(|(_, &expiry)| expiry >= now_secs)
+                    .map(|(&id, _)| id)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drops every expired entry (the RLI's periodic garbage collection).
+    pub fn expire(&mut self, now_secs: u64) {
+        for holders in self.entries.values_mut() {
+            holders.retain(|_, expiry| *expiry >= now_secs);
+        }
+        self.entries.retain(|_, holders| !holders.is_empty());
+    }
+
+    /// Number of indexed logical names (including possibly-expired
+    /// entries; call [`ReplicaLocationIndex::expire`] first for an exact
+    /// live count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lfn(s: &str) -> LogicalFileName {
+        s.parse().unwrap()
+    }
+
+    fn lrc_with(site: &str, files: &[&str]) -> LocalReplicaCatalog {
+        let mut lrc = LocalReplicaCatalog::new(site);
+        for f in files {
+            lrc.catalog_mut().register_logical(lfn(f), 1).unwrap();
+        }
+        lrc
+    }
+
+    #[test]
+    fn summaries_index_and_expire() {
+        let thu = lrc_with("thu", &["file-a", "file-b"]);
+        let hit = lrc_with("hit", &["file-a"]);
+        let mut rli = ReplicaLocationIndex::new(100);
+        rli.absorb_summary(LrcId(0), &thu, 0);
+        rli.absorb_summary(LrcId(1), &hit, 10);
+        assert_eq!(rli.lookup(&lfn("file-a"), 50), vec![LrcId(0), LrcId(1)]);
+        assert_eq!(rli.lookup(&lfn("file-b"), 50), vec![LrcId(0)]);
+        assert!(rli.lookup(&lfn("ghost"), 50).is_empty());
+        // thu's entries expire at 100, hit's at 110.
+        assert_eq!(rli.lookup(&lfn("file-a"), 105), vec![LrcId(1)]);
+        assert!(rli.lookup(&lfn("file-a"), 120).is_empty());
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let thu = lrc_with("thu", &["file-a"]);
+        let mut rli = ReplicaLocationIndex::new(60);
+        rli.absorb_summary(LrcId(0), &thu, 0);
+        rli.absorb_summary(LrcId(0), &thu, 50);
+        assert_eq!(rli.lookup(&lfn("file-a"), 100), vec![LrcId(0)]);
+        assert!(rli.lookup(&lfn("file-a"), 111).is_empty());
+    }
+
+    #[test]
+    fn full_summary_retracts_dropped_files() {
+        let mut thu = lrc_with("thu", &["file-a", "file-b"]);
+        let mut rli = ReplicaLocationIndex::new(1000);
+        rli.absorb_summary(LrcId(0), &thu, 0);
+        assert_eq!(rli.lookup(&lfn("file-b"), 1), vec![LrcId(0)]);
+        // thu unregisters file-b; the next summary retracts it immediately.
+        thu.catalog_mut().unregister_logical(&lfn("file-b")).unwrap();
+        rli.absorb_summary(LrcId(0), &thu, 10);
+        assert!(rli.lookup(&lfn("file-b"), 11).is_empty());
+        assert_eq!(rli.lookup(&lfn("file-a"), 11), vec![LrcId(0)]);
+    }
+
+    #[test]
+    fn gc_drops_expired_names() {
+        let thu = lrc_with("thu", &["file-a"]);
+        let mut rli = ReplicaLocationIndex::new(10);
+        rli.absorb_summary(LrcId(0), &thu, 0);
+        assert_eq!(rli.len(), 1);
+        rli.expire(11);
+        assert!(rli.is_empty());
+    }
+
+    #[test]
+    fn crashed_site_drops_out_silently() {
+        // Two sites advertise; one stops refreshing (crash/partition).
+        let thu = lrc_with("thu", &["file-a"]);
+        let hit = lrc_with("hit", &["file-a"]);
+        let mut rli = ReplicaLocationIndex::new(30);
+        let mut now = 0;
+        rli.absorb_summary(LrcId(0), &thu, now);
+        rli.absorb_summary(LrcId(1), &hit, now);
+        // Only thu keeps refreshing every 20 s.
+        for _ in 0..3 {
+            now += 20;
+            rli.absorb_summary(LrcId(0), &thu, now);
+        }
+        assert_eq!(rli.lookup(&lfn("file-a"), now), vec![LrcId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "TTL must be positive")]
+    fn zero_ttl_rejected() {
+        let _ = ReplicaLocationIndex::new(0);
+    }
+}

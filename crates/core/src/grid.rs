@@ -1,0 +1,1472 @@
+//! The Data Grid orchestrator.
+//!
+//! [`DataGrid`] composes every subsystem of the reproduction — the network
+//! simulator, simulated hosts, MDS, NWS sensors, the replica catalog, the
+//! selection server and the GridFTP executor — and executes the paper's
+//! Fig. 1 scenario end to end:
+//!
+//! 1. the client asks the replica catalog for the physical locations of a
+//!    logical file,
+//! 2. the replica selection server obtains the three system factors for
+//!    every candidate from the information services,
+//! 3. the cost model ranks the candidates and one is chosen,
+//! 4. the replica is fetched over GridFTP while monitoring continues.
+//!
+//! Build one with [`GridBuilder`]. Time is explicit: monitoring (host load
+//! sampling, MDS refresh, NWS bandwidth probes) runs on a fixed interval
+//! whenever the grid advances, including *during* transfers.
+
+use std::collections::HashMap;
+
+use datagrid_catalog::catalog::ReplicaCatalog;
+use datagrid_catalog::name::{LogicalFileName, PhysicalFileName};
+use datagrid_gridftp::executor::{
+    ProtocolCosts, SessionStatus, TransferEndpoint, TransferSession,
+};
+use datagrid_gridftp::transfer::{
+    DataChannelProtection, PhaseRecord, Protocol, TransferOutcome, TransferRequest,
+};
+use datagrid_simnet::background::BackgroundProfile;
+use datagrid_simnet::engine::{EventKind, FlowId, FlowSpec, FlowTag, NetSim, SimEvent};
+use datagrid_simnet::rng::SimRng;
+use datagrid_simnet::tcp::TcpParams;
+use datagrid_simnet::time::{SimDuration, SimTime};
+use datagrid_simnet::topology::{LinkId, NodeId, Topology};
+use datagrid_simnet::trace::NetworkTrace;
+use datagrid_sysmon::host::{HostId, HostSpec, SimHost};
+use datagrid_sysmon::load::LoadModel;
+use datagrid_sysmon::mds::MdsDirectory;
+use datagrid_sysmon::nws::sensor::BandwidthSensor;
+use datagrid_sysmon::nws::NwsRegistry;
+
+use crate::cost::{CostModel, Weights};
+use crate::error::GridError;
+use crate::factors::{rank_by_score, CandidateScore, SystemFactors};
+use crate::policy::{ReplicaSelector, SelectionPolicy};
+
+const TOK_MONITOR: u64 = 0;
+const TOK_SENTINEL: u64 = 1;
+/// Probe-launch timers: `TOK_PROBE_BASE + pair_index`.
+const TOK_PROBE_BASE: u64 = 1000;
+const SESSION_TOKEN_BASE: u64 = 1 << 20;
+
+/// Options controlling how a fetched replica is transferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOptions {
+    /// Parallel TCP streams (0 = plain stream mode).
+    pub parallelism: u32,
+    /// Protocol family (the paper's scenario always uses GridFTP; FTP is
+    /// here for baselines).
+    pub protocol: Protocol,
+    /// Data-channel protection level (GridFTP `PROT`).
+    pub protection: DataChannelProtection,
+}
+
+impl Default for FetchOptions {
+    fn default() -> Self {
+        FetchOptions {
+            parallelism: 0,
+            protocol: Protocol::GridFtp,
+            protection: DataChannelProtection::Clear,
+        }
+    }
+}
+
+impl FetchOptions {
+    /// Sets the stream count.
+    pub fn with_parallelism(mut self, parallelism: u32) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the data-channel protection level.
+    pub fn with_protection(mut self, protection: DataChannelProtection) -> Self {
+        self.protection = protection;
+        self
+    }
+}
+
+/// The result of one end-to-end fetch (the paper's Table 1 row set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchReport {
+    /// The requested logical file.
+    pub lfn: LogicalFileName,
+    /// The requesting host's name.
+    pub client: String,
+    /// `true` when the file was already present at the client's site.
+    pub local_hit: bool,
+    /// All candidates, ranked by descending score.
+    pub candidates: Vec<CandidateScore>,
+    /// Index into `candidates` of the replica actually used.
+    pub chosen: usize,
+    /// The executed transfer (synthesised local read for local hits).
+    pub transfer: TransferOutcome,
+    /// Time spent in catalog and selection-server queries before the
+    /// transfer began.
+    pub decision_latency: SimDuration,
+}
+
+impl FetchReport {
+    /// The candidate that was fetched.
+    pub fn chosen_candidate(&self) -> &CandidateScore {
+        &self.candidates[self.chosen]
+    }
+}
+
+struct PendingHost {
+    node: NodeId,
+    spec: HostSpec,
+    cpu: LoadModel,
+    io: LoadModel,
+}
+
+/// Builder for a [`DataGrid`].
+///
+/// Construct the topology (hosts with [`GridBuilder::add_host`], switches
+/// and routers with [`GridBuilder::add_switch`], cables through
+/// [`GridBuilder::topology_mut`]), pick what to monitor, then
+/// [`build`](GridBuilder::build).
+pub struct GridBuilder {
+    topo: Topology,
+    seed: u64,
+    monitor_interval: SimDuration,
+    probe_bytes: u64,
+    sensor_noise: f64,
+    tcp_window: u64,
+    weights: Weights,
+    policy: SelectionPolicy,
+    costs: ProtocolCosts,
+    hosts: Vec<PendingHost>,
+    background: Vec<BackgroundProfile>,
+    monitored: Vec<(NodeId, NodeId)>,
+    catalog_host: Option<String>,
+    control_cache_ttl: SimDuration,
+    watched_links: Vec<LinkId>,
+}
+
+impl GridBuilder {
+    /// Creates a builder; `seed` drives all randomness in the grid.
+    pub fn new(seed: u64) -> Self {
+        GridBuilder {
+            topo: Topology::new(),
+            seed,
+            monitor_interval: SimDuration::from_secs(10),
+            probe_bytes: 512 * 1024,
+            sensor_noise: 0.03,
+            tcp_window: 256 * 1024,
+            weights: Weights::PAPER_DEFAULT,
+            policy: SelectionPolicy::CostModel,
+            costs: ProtocolCosts::default(),
+            hosts: Vec::new(),
+            background: Vec::new(),
+            monitored: Vec::new(),
+            catalog_host: None,
+            control_cache_ttl: SimDuration::from_secs(600),
+            watched_links: Vec::new(),
+        }
+    }
+
+    /// Direct access to the topology for wiring links and routers.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Adds a network-only node (switch/router).
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.topo.add_node(name)
+    }
+
+    /// Adds a storage/compute host with the given load dynamics; the
+    /// topology node carries the host's name.
+    pub fn add_host(&mut self, spec: HostSpec, cpu: LoadModel, io: LoadModel) -> NodeId {
+        let node = self.topo.add_node(spec.name.clone());
+        self.hosts.push(PendingHost {
+            node,
+            spec,
+            cpu,
+            io,
+        });
+        node
+    }
+
+    /// Registers a directed path for NWS bandwidth monitoring.
+    pub fn monitor_path(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.monitored.push((src, dst));
+        self
+    }
+
+    /// Monitors every ordered pair of distinct hosts (small grids only:
+    /// probes cost bandwidth, as in a real NWS deployment).
+    pub fn monitor_all_host_pairs(&mut self) -> &mut Self {
+        for i in 0..self.hosts.len() {
+            for j in 0..self.hosts.len() {
+                if i != j {
+                    self.monitored.push((self.hosts[i].node, self.hosts[j].node));
+                }
+            }
+        }
+        self
+    }
+
+    /// Adds WAN cross traffic.
+    pub fn add_background(&mut self, profile: BackgroundProfile) -> &mut Self {
+        self.background.push(profile);
+        self
+    }
+
+    /// Sets the monitoring interval (default 10 s).
+    pub fn monitor_interval(&mut self, interval: SimDuration) -> &mut Self {
+        self.monitor_interval = interval;
+        self
+    }
+
+    /// Sets the NWS probe size (default 512 KiB).
+    pub fn probe_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.probe_bytes = bytes;
+        self
+    }
+
+    /// Sets the relative sensor measurement noise (default 3 %).
+    pub fn sensor_noise(&mut self, sigma: f64) -> &mut Self {
+        self.sensor_noise = sigma;
+        self
+    }
+
+    /// Sets the TCP window ceiling used by transfers and probes.
+    pub fn tcp_window(&mut self, bytes: u64) -> &mut Self {
+        self.tcp_window = bytes;
+        self
+    }
+
+    /// Sets the cost-model weights (default: the paper's 0.8/0.1/0.1).
+    pub fn weights(&mut self, weights: Weights) -> &mut Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the selection policy (default: the cost model).
+    pub fn policy(&mut self, policy: SelectionPolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets protocol cost constants (GSI, per-byte CPU).
+    pub fn protocol_costs(&mut self, costs: ProtocolCosts) -> &mut Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Records utilisation samples for these links on every monitoring
+    /// tick (see [`DataGrid::network_trace`]).
+    pub fn watch_links<I: IntoIterator<Item = LinkId>>(&mut self, links: I) -> &mut Self {
+        self.watched_links.extend(links);
+        self
+    }
+
+    /// Sets how long an idle authenticated control connection stays cached
+    /// (default 600 s; zero disables caching).
+    pub fn control_cache_ttl(&mut self, ttl: SimDuration) -> &mut Self {
+        self.control_cache_ttl = ttl;
+        self
+    }
+
+    /// Places the replica catalog / selection servers on a named host
+    /// (default: the first host added).
+    pub fn catalog_host(&mut self, name: impl Into<String>) -> &mut Self {
+        self.catalog_host = Some(name.into());
+        self
+    }
+
+    /// Builds the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no hosts were added, the catalog host is unknown, or a
+    /// monitored path is unroutable.
+    pub fn build(self) -> DataGrid {
+        assert!(!self.hosts.is_empty(), "a grid needs at least one host");
+        let root = SimRng::seed_from_u64(self.seed);
+        let mut sim = NetSim::new(self.topo, self.seed);
+        for profile in self.background {
+            sim.add_background(profile);
+        }
+
+        let mut hosts = Vec::new();
+        let mut host_nodes = Vec::new();
+        let mut host_by_name = HashMap::new();
+        let mut host_at_node = HashMap::new();
+        let mut mds = MdsDirectory::new();
+        for (i, pending) in self.hosts.into_iter().enumerate() {
+            let id = HostId(u32::try_from(i).expect("few hosts"));
+            let rng = root.fork(&format!("host:{}", pending.spec.name));
+            let host = SimHost::new(
+                pending.spec,
+                pending.cpu,
+                pending.io,
+                self.monitor_interval,
+                rng,
+            );
+            mds.register(id, &host);
+            host_by_name.insert(host.name().to_string(), id);
+            host_at_node.insert(pending.node, id);
+            host_nodes.push(pending.node);
+            hosts.push(host);
+        }
+
+        // The paper's BW_P normalises against the grid's *highest
+        // theoretical bandwidth*, a grid-wide constant, so fractions are
+        // comparable across candidates on different paths.
+        let reference = sim
+            .topology()
+            .max_link_capacity()
+            .expect("a grid topology has links");
+        let mut nws = NwsRegistry::new();
+        for &(src, dst) in &self.monitored {
+            let path = sim
+                .routing()
+                .path(src, dst)
+                .unwrap_or_else(|| panic!("monitored path {src} -> {dst} is unroutable"));
+            if sim.topology().path_capacity(path).is_none() {
+                continue; // node-local path needs no sensor
+            }
+            let rng = root.fork(&format!("sensor:{}:{}", src.index(), dst.index()));
+            nws.install(BandwidthSensor::new(
+                src,
+                dst,
+                reference,
+                self.sensor_noise,
+                rng,
+            ));
+        }
+
+        let catalog_node = match &self.catalog_host {
+            Some(name) => {
+                let id = host_by_name
+                    .get(name.as_str())
+                    .unwrap_or_else(|| panic!("catalog host {name:?} is not a grid host"));
+                host_nodes[id.index()]
+            }
+            None => host_nodes[0],
+        };
+
+        let selector = ReplicaSelector::new(
+            self.policy,
+            CostModel::new(self.weights),
+            root.fork("selector"),
+        );
+
+        // First monitoring tick shortly after start-up.
+        sim.schedule_timer(SimTime::from_secs_f64(1.0), TOK_MONITOR);
+
+        DataGrid {
+            sim,
+            hosts,
+            host_nodes,
+            host_by_name,
+            host_at_node,
+            mds,
+            nws,
+            catalog: ReplicaCatalog::new(),
+            selector,
+            costs: self.costs,
+            monitor_interval: self.monitor_interval,
+            probe_bytes: self.probe_bytes,
+            tcp_window: self.tcp_window,
+            catalog_node,
+            pending_probes: HashMap::new(),
+            next_session_base: SESSION_TOKEN_BASE,
+            monitored: self.monitored,
+            control_cache_ttl: self.control_cache_ttl,
+            control_cache: HashMap::new(),
+            trace: NetworkTrace::watching(self.watched_links),
+        }
+    }
+}
+
+/// The assembled Data Grid: network, hosts, monitoring, catalog and the
+/// replica selection service.
+///
+/// `DataGrid` is `Clone`, which makes counterfactual ("oracle") evaluation
+/// possible: clone the grid, force a different replica choice on the clone
+/// and compare outcomes under identical randomness.
+#[derive(Clone)]
+pub struct DataGrid {
+    sim: NetSim,
+    hosts: Vec<SimHost>,
+    host_nodes: Vec<NodeId>,
+    host_by_name: HashMap<String, HostId>,
+    host_at_node: HashMap<NodeId, HostId>,
+    mds: MdsDirectory,
+    nws: NwsRegistry,
+    catalog: ReplicaCatalog,
+    selector: ReplicaSelector,
+    costs: ProtocolCosts,
+    monitor_interval: SimDuration,
+    probe_bytes: u64,
+    tcp_window: u64,
+    catalog_node: NodeId,
+    pending_probes: HashMap<FlowId, (NodeId, NodeId)>,
+    next_session_base: u64,
+    monitored: Vec<(NodeId, NodeId)>,
+    control_cache_ttl: SimDuration,
+    /// (control node, server node) -> cache expiry.
+    control_cache: HashMap<(NodeId, NodeId), SimTime>,
+    trace: NetworkTrace,
+}
+
+impl std::fmt::Debug for DataGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataGrid")
+            .field("now", &self.sim.now())
+            .field("hosts", &self.hosts.len())
+            .field("sensors", &self.nws.len())
+            .field("files", &self.catalog.file_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DataGrid {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The underlying network simulator (read-only).
+    pub fn network(&self) -> &NetSim {
+        &self.sim
+    }
+
+    /// Resolves a host name.
+    pub fn host_id(&self, name: &str) -> Option<HostId> {
+        self.host_by_name.get(name).copied()
+    }
+
+    /// The simulated host behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn host(&self, id: HostId) -> &SimHost {
+        &self.hosts[id.index()]
+    }
+
+    /// The topology node a host sits on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn node_of(&self, id: HostId) -> NodeId {
+        self.host_nodes[id.index()]
+    }
+
+    /// All host ids, in creation order.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// The replica catalog.
+    pub fn catalog(&self) -> &ReplicaCatalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the replica catalog.
+    pub fn catalog_mut(&mut self) -> &mut ReplicaCatalog {
+        &mut self.catalog
+    }
+
+    /// The MDS information directory.
+    pub fn mds(&self) -> &MdsDirectory {
+        &self.mds
+    }
+
+    /// The NWS sensor registry.
+    pub fn nws(&self) -> &NwsRegistry {
+        &self.nws
+    }
+
+    /// Utilisation traces of the links registered with
+    /// [`GridBuilder::watch_links`], sampled on every monitoring tick.
+    pub fn network_trace(&self) -> &NetworkTrace {
+        &self.trace
+    }
+
+    /// The replica selection server.
+    pub fn selector_mut(&mut self) -> &mut ReplicaSelector {
+        &mut self.selector
+    }
+
+    /// Data discovery, the opening step of the paper's Fig. 1 scenario:
+    /// the application "specifies the characteristics of the desired data"
+    /// and the catalog returns matching logical file names.
+    pub fn discover(&self, query: &[(&str, &str)]) -> Vec<LogicalFileName> {
+        self.catalog
+            .find_by_attributes(query)
+            .into_iter()
+            .map(|e| e.name().clone())
+            .collect()
+    }
+
+    /// Registers a logical file and drops one replica on `host` (the data
+    /// is assumed to already exist there — use
+    /// [`DataGrid::replicate`] to create copies by moving bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::UnknownHost`] or catalog errors.
+    pub fn place_replica(
+        &mut self,
+        lfn: &str,
+        host: &str,
+    ) -> Result<PhysicalFileName, GridError> {
+        let name = LogicalFileName::new(lfn)?;
+        if !self.host_by_name.contains_key(host) {
+            return Err(GridError::UnknownHost {
+                name: host.to_string(),
+            });
+        }
+        let pfn = PhysicalFileName::new(host, format!("/storage/{lfn}"))?;
+        self.catalog.add_replica(&name, pfn.clone())?;
+        Ok(pfn)
+    }
+
+    /// Advances simulated time to `until`, running monitoring on the way.
+    pub fn advance_to(&mut self, until: SimTime) {
+        if until <= self.sim.now() {
+            return;
+        }
+        self.sim.schedule_timer(until, TOK_SENTINEL);
+        loop {
+            let ev = self
+                .sim
+                .next_event()
+                .expect("sentinel timer keeps the queue non-empty");
+            if matches!(ev.kind, EventKind::TimerFired(TOK_SENTINEL)) {
+                break;
+            }
+            self.handle_internal(&ev);
+        }
+    }
+
+    /// Advances simulated time by `duration` (e.g. to warm up sensors
+    /// before an experiment).
+    pub fn warm_up(&mut self, duration: SimDuration) {
+        self.advance_to(self.sim.now() + duration);
+    }
+
+    /// The TCP parameters a connection between two nodes experiences
+    /// (window ceiling from configuration, loss from the path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are unroutable.
+    pub fn tcp_for(&self, src: NodeId, dst: NodeId) -> TcpParams {
+        let path = self
+            .sim
+            .routing()
+            .path(src, dst)
+            .unwrap_or_else(|| panic!("no route {src} -> {dst}"));
+        let loss = self.sim.topology().path_loss(path);
+        TcpParams {
+            max_window: self.tcp_window,
+            loss_rate: loss,
+            ..TcpParams::default()
+        }
+    }
+
+    /// A transfer endpoint snapshot of a host's current resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn endpoint_for(&self, id: HostId) -> TransferEndpoint {
+        let host = &self.hosts[id.index()];
+        TransferEndpoint::new(
+            self.host_nodes[id.index()],
+            host.available_disk_read(),
+            host.available_disk_write(),
+            host.cpu_headroom(),
+            host.spec().compute_index(),
+        )
+    }
+
+    /// Runs a transfer between two grid hosts while monitoring continues.
+    /// This is the measurement primitive behind the paper's Fig. 3 and
+    /// Fig. 4 experiments.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Transfer`] for invalid requests.
+    pub fn transfer_between(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        req: TransferRequest,
+    ) -> Result<TransferOutcome, GridError> {
+        self.striped_transfer_between(&[src], dst, req)
+    }
+
+    /// Runs a striped transfer from several stripe servers to one
+    /// destination host while monitoring continues (GridFTP's striped
+    /// transfer feature — the paper's future work item 1).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Transfer`] for invalid requests or an empty source
+    /// list.
+    pub fn striped_transfer_between(
+        &mut self,
+        sources: &[HostId],
+        dst: HostId,
+        req: TransferRequest,
+    ) -> Result<TransferOutcome, GridError> {
+        let endpoints: Vec<TransferEndpoint> =
+            sources.iter().map(|&s| self.endpoint_for(s)).collect();
+        let first = sources.first().ok_or_else(|| {
+            GridError::Transfer(datagrid_gridftp::TransferError::InvalidRequest {
+                reason: "a transfer needs at least one source".into(),
+            })
+        })?;
+        let tcp = self.tcp_for(self.node_of(*first), self.node_of(dst));
+        let base = self.alloc_session_tokens();
+        let cache_key = (self.node_of(dst), self.node_of(*first));
+        let cached = sources.len() == 1 && self.control_cached(cache_key);
+        let mut session =
+            TransferSession::striped(req, endpoints, self.endpoint_for(dst), tcp, base)?
+                .with_costs(self.costs)
+                .with_cached_control(cached);
+        session.start(&mut self.sim);
+        loop {
+            let ev = self
+                .sim
+                .next_event()
+                .expect("an active session keeps the queue non-empty");
+            if session.owns(&ev) {
+                if let SessionStatus::Complete(outcome) = session.handle(&mut self.sim, &ev) {
+                    self.remember_control(cache_key);
+                    return Ok(outcome);
+                }
+            } else {
+                let monitor_tick = matches!(ev.kind, EventKind::TimerFired(TOK_MONITOR));
+                self.handle_internal(&ev);
+                if monitor_tick {
+                    // Host loads just advanced: propagate the fresh disk and
+                    // CPU limits into the running transfer, so a transfer
+                    // started against a momentarily saturated host recovers
+                    // as the load subsides (and vice versa).
+                    let fresh: Vec<TransferEndpoint> =
+                        sources.iter().map(|&s| self.endpoint_for(s)).collect();
+                    let dst_fresh = self.endpoint_for(dst);
+                    session.refresh_endpoints(&mut self.sim, &fresh, dst_fresh);
+                }
+            }
+        }
+    }
+
+    /// `true` if an authenticated control connection for `key` is cached
+    /// and fresh.
+    fn control_cached(&self, key: (NodeId, NodeId)) -> bool {
+        self.control_cache
+            .get(&key)
+            .is_some_and(|&expiry| self.sim.now() <= expiry)
+    }
+
+    /// Records that a control connection for `key` is open, resetting its
+    /// idle expiry.
+    fn remember_control(&mut self, key: (NodeId, NodeId)) {
+        if self.control_cache_ttl.is_zero() {
+            return;
+        }
+        if let Some(expiry) = self.sim.now().checked_add(self.control_cache_ttl) {
+            self.control_cache.insert(key, expiry);
+        }
+    }
+
+    /// A third-party transfer: `client` orchestrates a copy from
+    /// `src_host` to `dst_host` over its control channels while the data
+    /// flows directly between the two servers — the GridFTP feature that
+    /// lets the replica manager move data without routing bytes through
+    /// itself. Monitoring continues throughout.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Transfer`] for invalid requests.
+    pub fn third_party_transfer(
+        &mut self,
+        client: HostId,
+        src: HostId,
+        dst: HostId,
+        req: TransferRequest,
+    ) -> Result<TransferOutcome, GridError> {
+        let tcp = self.tcp_for(self.node_of(src), self.node_of(dst));
+        let base = self.alloc_session_tokens();
+        let mut session = TransferSession::new(
+            req,
+            self.endpoint_for(src),
+            self.endpoint_for(dst),
+            tcp,
+            base,
+        )?
+        .with_costs(self.costs)
+        .with_control_from(self.node_of(client));
+        session.start(&mut self.sim);
+        let sources = [src];
+        loop {
+            let ev = self
+                .sim
+                .next_event()
+                .expect("an active session keeps the queue non-empty");
+            if session.owns(&ev) {
+                if let SessionStatus::Complete(outcome) = session.handle(&mut self.sim, &ev) {
+                    return Ok(outcome);
+                }
+            } else {
+                let monitor_tick = matches!(ev.kind, EventKind::TimerFired(TOK_MONITOR));
+                self.handle_internal(&ev);
+                if monitor_tick {
+                    let fresh: Vec<TransferEndpoint> =
+                        sources.iter().map(|&s| self.endpoint_for(s)).collect();
+                    let dst_fresh = self.endpoint_for(dst);
+                    session.refresh_endpoints(&mut self.sim, &fresh, dst_fresh);
+                }
+            }
+        }
+    }
+
+    /// Creates a new physical replica of `lfn` on `dst_host` by copying
+    /// from the first registered location over GridFTP, then registers it
+    /// — the replica management service's *create* operation.
+    ///
+    /// # Errors
+    ///
+    /// Catalog errors, [`GridError::UnknownHost`], or transfer errors.
+    pub fn replicate(
+        &mut self,
+        lfn: &str,
+        dst_host: &str,
+        parallelism: u32,
+    ) -> Result<TransferOutcome, GridError> {
+        let name = LogicalFileName::new(lfn)?;
+        let record = self
+            .catalog
+            .lookup(&name)
+            .ok_or_else(|| GridError::Catalog(datagrid_catalog::CatalogError::UnknownFile {
+                name: lfn.to_string(),
+            }))?;
+        let src_pfn = record
+            .locations()
+            .first()
+            .ok_or_else(|| GridError::NoReplicas {
+                lfn: lfn.to_string(),
+            })?
+            .clone();
+        let bytes = record.entry().size_bytes();
+        let src_host = self.host_of_pfn(&src_pfn)?;
+        let dst = self
+            .host_id(dst_host)
+            .ok_or_else(|| GridError::UnknownHost {
+                name: dst_host.to_string(),
+            })?;
+        let req = TransferRequest::new(bytes).with_parallelism(parallelism);
+        let outcome = self.transfer_between(src_host, dst, req)?;
+        let pfn = PhysicalFileName::new(dst_host, format!("/storage/{lfn}"))?;
+        self.catalog.add_replica(&name, pfn)?;
+        Ok(outcome)
+    }
+
+    /// The selection server's core query: scores every registered replica
+    /// of `lfn` for a fetch by `client`, ranked best first. Pure query —
+    /// does not advance time or transfer anything.
+    ///
+    /// # Errors
+    ///
+    /// Catalog errors, [`GridError::NoReplicas`] or
+    /// [`GridError::ReplicaOffGrid`].
+    pub fn score_candidates(
+        &self,
+        client: HostId,
+        lfn: &str,
+    ) -> Result<Vec<CandidateScore>, GridError> {
+        let name = LogicalFileName::new(lfn)?;
+        let locations = self.catalog.replicas(&name)?;
+        if locations.is_empty() {
+            return Err(GridError::NoReplicas {
+                lfn: lfn.to_string(),
+            });
+        }
+        let client_node = self.node_of(client);
+        let mut out = Vec::with_capacity(locations.len());
+        for pfn in locations.iter().cloned() {
+            let host_id = self.host_of_pfn(&pfn)?;
+            let node = self.node_of(host_id);
+            let is_local = host_id == client;
+            let factors = self.gather_factors(node, client_node, &pfn, is_local);
+            let score = self.selector.score(&factors);
+            out.push(CandidateScore {
+                host: host_id,
+                host_name: pfn.host().to_string(),
+                location: pfn,
+                factors,
+                score,
+                is_local,
+            });
+        }
+        rank_by_score(&mut out);
+        Ok(out)
+    }
+
+    /// The paper's full Fig. 1 scenario with default transfer options.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataGrid::fetch_with`].
+    pub fn fetch(&mut self, client: HostId, lfn: &str) -> Result<FetchReport, GridError> {
+        self.fetch_with(client, lfn, FetchOptions::default())
+    }
+
+    /// The paper's full Fig. 1 scenario: catalog query, factor gathering,
+    /// policy choice, GridFTP transfer. Time advances through every step;
+    /// monitoring keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Catalog errors, [`GridError::NoReplicas`],
+    /// [`GridError::ReplicaOffGrid`] or transfer errors.
+    pub fn fetch_with(
+        &mut self,
+        client: HostId,
+        lfn: &str,
+        options: FetchOptions,
+    ) -> Result<FetchReport, GridError> {
+        let started = self.sim.now();
+        // Catalog + selection server round trips.
+        let latency = self.service_latency(client);
+        self.advance_to(started + latency);
+        let candidates = self.score_candidates(client, lfn)?;
+        let chosen = self.selector.choose(&candidates);
+        let decision_latency = self.sim.now() - started;
+        let transfer = self.execute_choice(client, lfn, &candidates[chosen], options)?;
+        Ok(FetchReport {
+            lfn: LogicalFileName::new(lfn)?,
+            client: self.hosts[client.index()].name().to_string(),
+            local_hit: candidates[chosen].is_local,
+            candidates: candidates.clone(),
+            chosen,
+            transfer,
+            decision_latency,
+        })
+    }
+
+    /// Like [`DataGrid::fetch_with`] but forcing the replica on
+    /// `from_host` — the counterfactual probe used for oracle evaluation
+    /// and for regenerating the paper's Table 1 (which measures the
+    /// transfer time of *every* candidate).
+    ///
+    /// # Errors
+    ///
+    /// As [`DataGrid::fetch_with`], plus [`GridError::UnknownHost`] if the
+    /// forced host holds no replica.
+    pub fn fetch_from(
+        &mut self,
+        client: HostId,
+        lfn: &str,
+        from_host: &str,
+        options: FetchOptions,
+    ) -> Result<FetchReport, GridError> {
+        let started = self.sim.now();
+        let latency = self.service_latency(client);
+        self.advance_to(started + latency);
+        let candidates = self.score_candidates(client, lfn)?;
+        let chosen = candidates
+            .iter()
+            .position(|c| c.host_name == from_host)
+            .ok_or_else(|| GridError::UnknownHost {
+                name: from_host.to_string(),
+            })?;
+        let decision_latency = self.sim.now() - started;
+        let transfer = self.execute_choice(client, lfn, &candidates[chosen], options)?;
+        Ok(FetchReport {
+            lfn: LogicalFileName::new(lfn)?,
+            client: self.hosts[client.index()].name().to_string(),
+            local_hit: candidates[chosen].is_local,
+            candidates: candidates.clone(),
+            chosen,
+            transfer,
+            decision_latency,
+        })
+    }
+
+    /// Suggests a parallel stream count for transfers from `src` to `dst`:
+    /// enough streams for their aggregate TCP ceiling (window/loss bound)
+    /// to cover the path's bottleneck capacity, clamped to `[1, 16]` (the
+    /// range the paper sweeps in Fig. 4). Clean short paths get 1; the
+    /// lossy Li-Zen path lands near the Fig. 4 sweet spot automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hosts are unroutable.
+    pub fn suggested_parallelism(&self, src: HostId, dst: HostId) -> u32 {
+        let s = self.node_of(src);
+        let d = self.node_of(dst);
+        let path = self
+            .sim
+            .routing()
+            .path(s, d)
+            .unwrap_or_else(|| panic!("no route {s} -> {d}"));
+        let Some(capacity) = self.sim.topology().path_capacity(path) else {
+            return 1; // node-local
+        };
+        let per_stream = self.tcp_for(s, d).steady_rate(self.sim.rtt(s, d)).as_bps();
+        if per_stream <= 0.0 {
+            return 16;
+        }
+        ((capacity.as_bps() / per_stream).ceil() as u32).clamp(1, 16)
+    }
+
+    /// The current `BW_P` estimate from `src` to `dst` host, if a sensor
+    /// is installed and warmed up.
+    pub fn bandwidth_fraction(&self, src: HostId, dst: HostId) -> Option<f64> {
+        self.nws
+            .sensor(self.node_of(src), self.node_of(dst))
+            .and_then(BandwidthSensor::bandwidth_fraction)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn execute_choice(
+        &mut self,
+        client: HostId,
+        lfn: &str,
+        choice: &CandidateScore,
+        options: FetchOptions,
+    ) -> Result<TransferOutcome, GridError> {
+        let name = LogicalFileName::new(lfn)?;
+        let bytes = self
+            .catalog
+            .lookup(&name)
+            .expect("scored candidates imply a registered file")
+            .entry()
+            .size_bytes();
+        if choice.is_local {
+            return Ok(self.local_read(client, bytes));
+        }
+        let req = TransferRequest::new(bytes)
+            .with_protocol(options.protocol)
+            .with_parallelism(options.parallelism)
+            .with_protection(options.protection);
+        self.transfer_between(choice.host, client, req)
+    }
+
+    /// A local disk read, synthesised as a one-phase outcome.
+    fn local_read(&mut self, client: HostId, bytes: u64) -> TransferOutcome {
+        let start = self.sim.now();
+        let rate = self.hosts[client.index()].available_disk_read();
+        let duration = rate.time_for_bytes(bytes);
+        self.advance_to(start + duration);
+        let end = self.sim.now();
+        TransferOutcome {
+            payload_bytes: bytes,
+            wire_bytes: 0,
+            streams: 0,
+            stripes: 0,
+            started: start,
+            finished: end,
+            phases: vec![PhaseRecord {
+                name: "data",
+                start,
+                end,
+            }],
+        }
+    }
+
+    /// Catalog and selection server query latency for a client: two round
+    /// trips to the catalog node plus processing.
+    fn service_latency(&self, client: HostId) -> SimDuration {
+        let rtt = self
+            .sim
+            .routing()
+            .rtt(self.node_of(client), self.catalog_node)
+            .expect("catalog reachable");
+        rtt * 2 + SimDuration::from_millis(5)
+    }
+
+    fn host_of_pfn(&self, pfn: &PhysicalFileName) -> Result<HostId, GridError> {
+        self.host_by_name
+            .get(pfn.host())
+            .copied()
+            .ok_or_else(|| GridError::ReplicaOffGrid {
+                location: pfn.to_string(),
+            })
+    }
+
+    fn gather_factors(
+        &self,
+        replica_node: NodeId,
+        client_node: NodeId,
+        _pfn: &PhysicalFileName,
+        is_local: bool,
+    ) -> SystemFactors {
+        let host_id = self.host_at_node[&replica_node];
+        let rec = self
+            .mds
+            .lookup(self.hosts[host_id.index()].name())
+            .expect("grid hosts are MDS-registered");
+        let bw = if is_local {
+            1.0
+        } else {
+            match self
+                .nws
+                .sensor(replica_node, client_node)
+                .and_then(BandwidthSensor::bandwidth_fraction)
+            {
+                Some(fraction) => fraction,
+                None => self.instantaneous_fraction(replica_node, client_node),
+            }
+        };
+        SystemFactors::new(bw, rec.cpu_idle, rec.io_idle)
+    }
+
+    /// Fallback `BW_P` when no sensor history exists: the rate a new
+    /// stream would get right now, over the grid-wide reference bandwidth.
+    fn instantaneous_fraction(&self, src: NodeId, dst: NodeId) -> f64 {
+        let Some(path) = self.sim.routing().path(src, dst) else {
+            return 0.0;
+        };
+        if self.sim.topology().path_capacity(path).is_none() {
+            return 1.0; // node-local
+        }
+        let reference = self
+            .sim
+            .topology()
+            .max_link_capacity()
+            .expect("grids have links");
+        let tcp = self.tcp_for(src, dst);
+        let cap = tcp.steady_rate(self.sim.rtt(src, dst));
+        let avail = self.sim.available_bandwidth(src, dst, Some(cap));
+        (avail.as_bps() / reference.as_bps()).clamp(0.0, 1.0)
+    }
+
+    fn alloc_session_tokens(&mut self) -> u64 {
+        let base = self.next_session_base;
+        self.next_session_base += TransferSession::TOKENS_PER_SESSION;
+        base
+    }
+
+    fn handle_internal(&mut self, ev: &SimEvent) {
+        match &ev.kind {
+            EventKind::TimerFired(TOK_MONITOR) => self.on_monitor_tick(),
+            EventKind::TimerFired(TOK_SENTINEL) => {
+                // A sentinel from an outer advance_to that was overtaken by
+                // a nested loop; nothing to do.
+            }
+            EventKind::TimerFired(tok)
+                if (TOK_PROBE_BASE..TOK_PROBE_BASE + self.monitored.len() as u64)
+                    .contains(tok) =>
+            {
+                self.launch_probe((tok - TOK_PROBE_BASE) as usize);
+            }
+            EventKind::TimerFired(other) => {
+                panic!("orphan timer token {other} reached the grid loop")
+            }
+            EventKind::FlowCompleted(done) => {
+                let Some((src, dst)) = self.pending_probes.remove(&done.id) else {
+                    panic!("orphan flow completion {:?}", done.id);
+                };
+                let measured = done.avg_throughput();
+                if let Some(sensor) = self.nws.sensor_mut(src, dst) {
+                    sensor.record(ev.time, measured);
+                }
+            }
+        }
+    }
+
+    fn on_monitor_tick(&mut self) {
+        self.trace.sample(&self.sim);
+        let now = self.sim.now();
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            host.advance_to(now);
+            self.mds.refresh(HostId(i as u32), host, now);
+        }
+        // Stagger one probe per monitored path across the interval: NWS
+        // serialises probes within a clique so measurements do not contend
+        // with each other and distort themselves.
+        let n = self.monitored.len() as u64;
+        for i in 0..n {
+            let offset = self.monitor_interval.saturating_mul(i) / (n + 1);
+            self.sim.schedule_timer_after(offset, TOK_PROBE_BASE + i);
+        }
+        self.sim
+            .schedule_timer_after(self.monitor_interval, TOK_MONITOR);
+    }
+
+    /// Launches the probe for monitored pair `index`, unless its previous
+    /// probe is still in flight (a slow path must not pile up probes).
+    fn launch_probe(&mut self, index: usize) {
+        let (src, dst) = self.monitored[index];
+        if self.pending_probes.values().any(|&p| p == (src, dst)) {
+            return;
+        }
+        let tcp = self.tcp_for(src, dst);
+        let cap = tcp.steady_rate(self.sim.rtt(src, dst));
+        let id = self.sim.start_flow(
+            FlowSpec::new(src, dst, self.probe_bytes)
+                .with_cap(cap)
+                .with_tag(FlowTag::Probe),
+        );
+        self.pending_probes.insert(id, (src, dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagrid_simnet::topology::{Bandwidth, LinkSpec};
+
+    const MB: u64 = 1 << 20;
+
+    fn ms(m: u64) -> SimDuration {
+        SimDuration::from_millis(m)
+    }
+
+    fn mbps(m: f64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    /// client --1Gbps-- switch --{fast: 100Mbps | slow: 10Mbps}-- replicas
+    fn small_grid(seed: u64) -> DataGrid {
+        let mut b = GridBuilder::new(seed);
+        let client = b.add_host(
+            HostSpec::new("client").with_cpu(2, 2.0),
+            LoadModel::Constant(0.1),
+            LoadModel::Constant(0.1),
+        );
+        let fast = b.add_host(
+            HostSpec::new("fast").with_cpu(1, 2.8),
+            LoadModel::Constant(0.2),
+            LoadModel::Constant(0.1),
+        );
+        let slow = b.add_host(
+            HostSpec::new("slow").with_cpu(1, 0.9),
+            LoadModel::Constant(0.4),
+            LoadModel::Constant(0.3),
+        );
+        let sw = b.add_switch("switch");
+        let t = b.topology_mut();
+        t.add_duplex_link(client, sw, LinkSpec::new(Bandwidth::from_gbps(1.0), ms(1)));
+        t.add_duplex_link(fast, sw, LinkSpec::new(mbps(100.0), ms(4)));
+        // Loss makes a single stream Mathis-limited (~6.5 Mbps) below the
+        // 10 Mbps link, so parallel streams have room to win.
+        t.add_duplex_link(slow, sw, LinkSpec::new(mbps(10.0), ms(10)).with_loss(0.01));
+        b.monitor_all_host_pairs();
+        b.build()
+    }
+
+    fn with_file(mut grid: DataGrid) -> DataGrid {
+        grid.catalog_mut()
+            .register_logical("file-a".parse().unwrap(), 16 * MB)
+            .unwrap();
+        grid.place_replica("file-a", "fast").unwrap();
+        grid.place_replica("file-a", "slow").unwrap();
+        grid
+    }
+
+    #[test]
+    fn builder_wires_hosts_and_sensors() {
+        let grid = small_grid(1);
+        assert_eq!(grid.host_ids().count(), 3);
+        assert!(grid.host_id("fast").is_some());
+        assert!(grid.host_id("nope").is_none());
+        // 3 hosts -> 6 ordered pairs monitored.
+        assert_eq!(grid.nws().len(), 6);
+        assert_eq!(grid.mds().len(), 3);
+    }
+
+    #[test]
+    fn warm_up_populates_sensors_and_mds() {
+        let mut grid = small_grid(2);
+        grid.warm_up(SimDuration::from_secs(120));
+        assert_eq!(grid.now(), SimTime::from_secs_f64(120.0));
+        let client = grid.host_id("client").unwrap();
+        let fast = grid.host_id("fast").unwrap();
+        // The fast path carries ~100 Mbps of the grid's 1 Gbps reference.
+        let frac = grid.bandwidth_fraction(fast, client).expect("warm sensor");
+        assert!((0.05..0.2).contains(&frac), "BW_P ≈ 0.1 expected, got {frac}");
+        let slow = grid.host_id("slow").unwrap();
+        let slow_frac = grid.bandwidth_fraction(slow, client).expect("warm sensor");
+        assert!(slow_frac < frac, "slow path must score below fast");
+        let rec = grid.mds().lookup("slow").unwrap();
+        assert!((rec.cpu_idle - 0.6).abs() < 1e-9);
+        assert!(rec.updated > SimTime::ZERO);
+    }
+
+    #[test]
+    fn score_candidates_ranks_fast_first() {
+        let mut grid = with_file(small_grid(3));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let scored = grid.score_candidates(client, "file-a").unwrap();
+        assert_eq!(scored.len(), 2);
+        assert_eq!(scored[0].host_name, "fast");
+        assert!(scored[0].score > scored[1].score);
+        // Slow path: 10/1000 of the client NIC... BW_P is relative to the
+        // path's own bottleneck, so the difference comes from loss,
+        // sharing and host state; both fractions are valid.
+        for c in &scored {
+            assert!((0.0..=1.0).contains(&c.factors.bandwidth_fraction));
+            assert!((0.0..=1.0).contains(&c.score));
+        }
+    }
+
+    #[test]
+    fn fetch_selects_and_transfers_fast_replica() {
+        let mut grid = with_file(small_grid(4));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let report = grid.fetch(client, "file-a").unwrap();
+        assert_eq!(report.chosen_candidate().host_name, "fast");
+        assert!(!report.local_hit);
+        assert_eq!(report.transfer.payload_bytes, 16 * MB);
+        assert!(report.decision_latency > SimDuration::ZERO);
+        // 16 MiB at ~100 Mbps ≈ 1.3 s; allow for slow start + handshake.
+        let secs = report.transfer.duration().as_secs_f64();
+        assert!((1.0..6.0).contains(&secs), "duration {secs}");
+    }
+
+    #[test]
+    fn fetch_prefers_local_replica() {
+        let mut grid = with_file(small_grid(5));
+        grid.place_replica("file-a", "client").unwrap();
+        grid.warm_up(SimDuration::from_secs(60));
+        let client = grid.host_id("client").unwrap();
+        let report = grid.fetch(client, "file-a").unwrap();
+        assert!(report.local_hit);
+        assert_eq!(report.chosen_candidate().host_name, "client");
+        // Local disk read ≈ 16 MiB at ~50 MB/s < 1 s.
+        assert!(report.transfer.duration().as_secs_f64() < 1.0);
+        assert_eq!(report.transfer.wire_bytes, 0);
+    }
+
+    #[test]
+    fn fetch_from_forces_the_slow_candidate() {
+        let mut grid = with_file(small_grid(6));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let forced = grid
+            .fetch_from(client, "file-a", "slow", FetchOptions::default())
+            .unwrap();
+        assert_eq!(forced.chosen_candidate().host_name, "slow");
+        let free = grid.fetch(client, "file-a").unwrap();
+        assert!(
+            forced.transfer.duration() > free.transfer.duration(),
+            "slow {} should exceed fast {}",
+            forced.transfer.duration(),
+            free.transfer.duration()
+        );
+        let err = grid
+            .fetch_from(client, "file-a", "mars", FetchOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, GridError::UnknownHost { .. }));
+    }
+
+    #[test]
+    fn score_order_predicts_transfer_order() {
+        // The paper's Table 1 claim: higher score => faster transfer.
+        let mut grid = with_file(small_grid(7));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let scored = grid.score_candidates(client, "file-a").unwrap();
+        let mut durations = Vec::new();
+        for c in &scored {
+            let mut probe_grid = grid.clone();
+            let report = probe_grid
+                .fetch_from(client, "file-a", &c.host_name, FetchOptions::default())
+                .unwrap();
+            durations.push(report.transfer.duration());
+        }
+        assert!(
+            durations.windows(2).all(|w| w[0] <= w[1]),
+            "transfer times should be sorted like scores: {durations:?}"
+        );
+    }
+
+    #[test]
+    fn errors_for_missing_files_and_hosts() {
+        let mut grid = small_grid(8);
+        let client = grid.host_id("client").unwrap();
+        assert!(matches!(
+            grid.fetch(client, "ghost").unwrap_err(),
+            GridError::Catalog(_)
+        ));
+        grid.catalog_mut()
+            .register_logical("empty".parse().unwrap(), MB)
+            .unwrap();
+        assert!(matches!(
+            grid.fetch(client, "empty").unwrap_err(),
+            GridError::NoReplicas { .. }
+        ));
+        assert!(matches!(
+            grid.place_replica("empty", "mars").unwrap_err(),
+            GridError::UnknownHost { .. }
+        ));
+    }
+
+    #[test]
+    fn replica_off_grid_detected() {
+        let mut grid = small_grid(9);
+        grid.catalog_mut()
+            .register_logical("file-x".parse().unwrap(), MB)
+            .unwrap();
+        grid.catalog_mut()
+            .add_replica(
+                &"file-x".parse().unwrap(),
+                "gsiftp://elsewhere/d/f".parse().unwrap(),
+            )
+            .unwrap();
+        let client = grid.host_id("client").unwrap();
+        assert!(matches!(
+            grid.score_candidates(client, "file-x").unwrap_err(),
+            GridError::ReplicaOffGrid { .. }
+        ));
+    }
+
+    #[test]
+    fn replicate_moves_bytes_and_registers() {
+        let mut grid = with_file(small_grid(10));
+        grid.warm_up(SimDuration::from_secs(30));
+        let outcome = grid.replicate("file-a", "client", 4).unwrap();
+        assert_eq!(outcome.payload_bytes, 16 * MB);
+        let replicas = grid
+            .catalog()
+            .replicas(&"file-a".parse().unwrap())
+            .unwrap();
+        assert_eq!(replicas.len(), 3);
+        assert!(replicas.iter().any(|p| p.host() == "client"));
+    }
+
+    #[test]
+    fn transfer_between_respects_parallelism_options() {
+        let mut grid = small_grid(11);
+        grid.warm_up(SimDuration::from_secs(30));
+        let slow = grid.host_id("slow").unwrap();
+        let client = grid.host_id("client").unwrap();
+        let single = grid
+            .transfer_between(slow, client, TransferRequest::new(8 * MB))
+            .unwrap();
+        let parallel = grid
+            .transfer_between(
+                slow,
+                client,
+                TransferRequest::new(8 * MB).with_parallelism(8),
+            )
+            .unwrap();
+        assert!(
+            parallel.duration() < single.duration(),
+            "parallel {} vs single {}",
+            parallel.duration(),
+            single.duration()
+        );
+    }
+
+    #[test]
+    fn clone_gives_independent_counterfactuals() {
+        let mut grid = with_file(small_grid(12));
+        grid.warm_up(SimDuration::from_secs(60));
+        let client = grid.host_id("client").unwrap();
+        let mut a = grid.clone();
+        let mut b = grid.clone();
+        let ra = a.fetch(client, "file-a").unwrap();
+        let rb = b.fetch(client, "file-a").unwrap();
+        // Identical clones evolve identically.
+        assert_eq!(ra.transfer.duration(), rb.transfer.duration());
+        // And the original is untouched.
+        assert_eq!(grid.now(), SimTime::from_secs_f64(60.0));
+    }
+
+    #[test]
+    fn monitoring_keeps_running_during_transfers() {
+        let mut grid = with_file(small_grid(13));
+        grid.warm_up(SimDuration::from_secs(30));
+        let client = grid.host_id("client").unwrap();
+        let fast = grid.host_id("fast").unwrap();
+        let samples_before = grid
+            .nws()
+            .sensor(grid.node_of(fast), grid.node_of(client))
+            .unwrap()
+            .series()
+            .len();
+        // A long transfer over the slow path (~16 MiB at ≈10 Mbps ≈ 13 s,
+        // spanning one or two 10 s monitor ticks).
+        let _ = grid
+            .fetch_from(client, "file-a", "slow", FetchOptions::default())
+            .unwrap();
+        let samples_after = grid
+            .nws()
+            .sensor(grid.node_of(fast), grid.node_of(client))
+            .unwrap()
+            .series()
+            .len();
+        assert!(
+            samples_after > samples_before,
+            "probes must fire during transfers: {samples_before} -> {samples_after}"
+        );
+    }
+
+    #[test]
+    fn policies_change_choices() {
+        let mut grid = with_file(small_grid(14));
+        grid.warm_up(SimDuration::from_secs(60));
+        let client = grid.host_id("client").unwrap();
+        grid.selector_mut().set_policy(SelectionPolicy::RoundRobin);
+        let first = grid.fetch(client, "file-a").unwrap();
+        let second = grid.fetch(client, "file-a").unwrap();
+        assert_ne!(
+            first.chosen_candidate().host_name,
+            second.chosen_candidate().host_name,
+            "round robin must rotate"
+        );
+    }
+
+    #[test]
+    fn debug_formatting_mentions_state() {
+        let grid = small_grid(15);
+        let s = format!("{grid:?}");
+        assert!(s.contains("DataGrid"));
+        assert!(s.contains("hosts"));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use datagrid_simnet::topology::{Bandwidth, LinkSpec};
+
+    #[test]
+    fn watched_links_collect_samples_on_ticks() {
+        let mut b = GridBuilder::new(42);
+        let a = b.add_host(
+            HostSpec::new("a"),
+            LoadModel::Constant(0.1),
+            LoadModel::Constant(0.1),
+        );
+        let c = b.add_host(
+            HostSpec::new("c"),
+            LoadModel::Constant(0.1),
+            LoadModel::Constant(0.1),
+        );
+        let (fwd, _) = b.topology_mut().add_duplex_link(
+            a,
+            c,
+            LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(2)),
+        );
+        b.watch_links([fwd]);
+        b.monitor_path(a, c);
+        let mut grid = b.build();
+        grid.warm_up(SimDuration::from_secs(65));
+        let trace = grid.network_trace().link(fwd).expect("watched");
+        // Ticks at 1, 11, ..., 61 s -> 7 samples.
+        assert!(trace.samples().len() >= 6, "samples {}", trace.samples().len());
+        // Probes occasionally light the link up.
+        assert!(trace.peak().unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Grid Security Infrastructure (GSI) authentication cost model.
+//!
+//! Every GridFTP control connection starts with GSI mutual authentication:
+//! a TLS-style handshake (certificate exchange, several round trips) plus
+//! public-key cryptography on both ends. This is the constant per-session
+//! overhead that makes GridFTP slightly slower than plain FTP for small
+//! files in the paper's Fig. 3 while being irrelevant for multi-gigabyte
+//! transfers.
+
+use datagrid_simnet::time::SimDuration;
+
+/// Cost parameters of one GSI mutual authentication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GsiConfig {
+    /// Control-channel round trips consumed by the handshake
+    /// (hello/certificate/verify/finished plus the gss token exchange).
+    pub handshake_rtts: u32,
+    /// CPU time for the public-key operations on a reference machine with
+    /// [compute index](crate::executor::TransferEndpoint::compute_index)
+    /// 1.0 (1 core × 1 GHz). Scales inversely with each endpoint's index.
+    pub crypto_cpu_reference: SimDuration,
+}
+
+impl Default for GsiConfig {
+    /// 2005-era defaults: 4 round trips, 250 ms of RSA work per side on a
+    /// 1 GHz machine.
+    fn default() -> Self {
+        GsiConfig {
+            handshake_rtts: 4,
+            crypto_cpu_reference: SimDuration::from_millis(250),
+        }
+    }
+}
+
+impl GsiConfig {
+    /// A configuration with no authentication cost (for calibration and
+    /// what-if ablations).
+    pub fn disabled() -> Self {
+        GsiConfig {
+            handshake_rtts: 0,
+            crypto_cpu_reference: SimDuration::ZERO,
+        }
+    }
+
+    /// Total handshake duration for one session over a path with the given
+    /// `rtt`, between endpoints with the given compute indices.
+    ///
+    /// Crypto on the two ends does not overlap (each side verifies the
+    /// other's certificate before replying), so the CPU terms add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either compute index is not strictly positive.
+    pub fn handshake_time(
+        &self,
+        rtt: SimDuration,
+        client_compute_index: f64,
+        server_compute_index: f64,
+    ) -> SimDuration {
+        assert!(
+            client_compute_index > 0.0 && server_compute_index > 0.0,
+            "compute indices must be positive"
+        );
+        let net = rtt * u64::from(self.handshake_rtts);
+        let crypto_secs = self.crypto_cpu_reference.as_secs_f64()
+            * (1.0 / client_compute_index + 1.0 / server_compute_index);
+        net + SimDuration::from_secs_f64(crypto_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(m: u64) -> SimDuration {
+        SimDuration::from_millis(m)
+    }
+
+    #[test]
+    fn default_handshake_cost() {
+        let gsi = GsiConfig::default();
+        // 4 RTTs of 10 ms + 250 ms × (1/2 + 1/2) = 40 + 250 = 290 ms.
+        let t = gsi.handshake_time(ms(10), 2.0, 2.0);
+        assert!((t.as_millis_f64() - 290.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn faster_hosts_authenticate_faster() {
+        let gsi = GsiConfig::default();
+        let slow = gsi.handshake_time(ms(10), 0.9, 0.9);
+        let fast = gsi.handshake_time(ms(10), 4.0, 4.0);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn disabled_costs_nothing() {
+        let gsi = GsiConfig::disabled();
+        assert_eq!(gsi.handshake_time(ms(50), 1.0, 1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute indices")]
+    fn zero_index_rejected() {
+        let _ = GsiConfig::default().handshake_time(ms(1), 0.0, 1.0);
+    }
+}

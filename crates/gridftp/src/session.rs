@@ -1,0 +1,286 @@
+//! Control-channel session scripts.
+//!
+//! An FTP-family session is a sequence of command/response exchanges on
+//! the control channel before (and after) the data flows. Each step costs
+//! round trips plus server think time; GridFTP sessions additionally embed
+//! the GSI handshake. Scripts are plain data so tests can assert protocol
+//! structure and ablations can modify it.
+
+use datagrid_simnet::time::SimDuration;
+
+use crate::gsi::GsiConfig;
+use crate::mode::TransferMode;
+use crate::transfer::{DataChannelProtection, Protocol};
+
+/// One control-channel exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlStep {
+    /// Command mnemonic (for timelines and debugging).
+    pub name: &'static str,
+    /// Round trips consumed (TCP connect = 1.5, simple command = 1, ...).
+    pub rtts: f64,
+    /// Server-side processing time at compute index 1.0.
+    pub think: SimDuration,
+}
+
+impl ControlStep {
+    /// Creates a step costing whole round trips with default think time.
+    pub fn new(name: &'static str, rtts: f64) -> Self {
+        ControlStep {
+            name,
+            rtts,
+            think: SimDuration::from_micros(200),
+        }
+    }
+
+    /// Overrides the server think time.
+    pub fn with_think(mut self, think: SimDuration) -> Self {
+        self.think = think;
+        self
+    }
+}
+
+/// A full control-channel script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControlScript {
+    steps: Vec<ControlStep>,
+}
+
+impl ControlScript {
+    /// The session script for retrieving a file under the given protocol.
+    ///
+    /// Plain FTP: TCP connect, banner, `USER`/`PASS`, `TYPE I`, `PASV`,
+    /// `RETR`. GridFTP adds the GSI handshake (expressed as one aggregated
+    /// step whose cost the executor computes from [`GsiConfig`]), the
+    /// `MODE E` / `OPTS RETR Parallelism` negotiation when parallel streams
+    /// are requested, and `PROT` when data-channel protection is on.
+    pub fn retrieve(
+        protocol: Protocol,
+        mode: TransferMode,
+        parallelism: u32,
+        protection: DataChannelProtection,
+    ) -> Self {
+        let mut steps = vec![
+            ControlStep::new("connect", 1.5),
+            ControlStep::new("banner", 0.5),
+        ];
+        match protocol {
+            Protocol::Ftp => {
+                steps.push(ControlStep::new("USER/PASS", 2.0));
+            }
+            Protocol::GridFtp => {
+                // GSI handshake RTTs/crypto are added by the executor; the
+                // marker step carries zero cost of its own.
+                steps.push(ControlStep::new("AUTH GSSAPI", 1.0));
+                steps.push(ControlStep::new("gsi-handshake", 0.0));
+                steps.push(ControlStep::new("USER :globus-mapping:", 1.0));
+            }
+        }
+        steps.push(ControlStep::new("TYPE I", 1.0));
+        if protection != DataChannelProtection::Clear {
+            steps.push(ControlStep::new("PBSZ/PROT", 2.0));
+        }
+        if mode.is_extended() {
+            steps.push(ControlStep::new("MODE E", 1.0));
+        }
+        if parallelism > 0 {
+            steps.push(ControlStep::new("OPTS RETR Parallelism", 1.0));
+        }
+        steps.push(ControlStep::new("PASV", 1.0));
+        // Data connection establishment for the first stream overlaps the
+        // RETR round trip; additional streams connect concurrently.
+        steps.push(
+            ControlStep::new("RETR", 1.0).with_think(SimDuration::from_millis(1)),
+        );
+        ControlScript { steps }
+    }
+
+    /// The session script when an authenticated control connection is
+    /// being *reused* (GridFTP clients cache control channels): no TCP
+    /// connect, no banner, no authentication — only per-transfer
+    /// negotiation.
+    pub fn retrieve_cached(
+        mode: TransferMode,
+        parallelism: u32,
+        protection: DataChannelProtection,
+    ) -> Self {
+        let mut steps = vec![ControlStep::new("TYPE I", 1.0)];
+        if protection != DataChannelProtection::Clear {
+            steps.push(ControlStep::new("PBSZ/PROT", 2.0));
+        }
+        if mode.is_extended() {
+            steps.push(ControlStep::new("MODE E", 1.0));
+        }
+        if parallelism > 0 {
+            steps.push(ControlStep::new("OPTS RETR Parallelism", 1.0));
+        }
+        steps.push(ControlStep::new("PASV", 1.0));
+        steps.push(ControlStep::new("RETR", 1.0).with_think(SimDuration::from_millis(1)));
+        ControlScript { steps }
+    }
+
+    /// The trailing exchange after the data channel drains (`226 Transfer
+    /// complete`).
+    pub fn completion() -> Self {
+        ControlScript {
+            steps: vec![ControlStep::new("226-reply", 0.5)],
+        }
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[ControlStep] {
+        &self.steps
+    }
+
+    /// Total duration of the script over a path with the given `rtt`,
+    /// scaling think time by the server's compute index, and substituting
+    /// the GSI handshake cost for the marker step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_compute_index` is not strictly positive.
+    pub fn duration(
+        &self,
+        rtt: SimDuration,
+        gsi: &GsiConfig,
+        client_compute_index: f64,
+        server_compute_index: f64,
+    ) -> SimDuration {
+        assert!(server_compute_index > 0.0, "compute index must be positive");
+        let mut total = SimDuration::ZERO;
+        for step in &self.steps {
+            if step.name == "gsi-handshake" {
+                total += gsi.handshake_time(rtt, client_compute_index, server_compute_index);
+            } else {
+                total += SimDuration::from_secs_f64(rtt.as_secs_f64() * step.rtts)
+                    + SimDuration::from_secs_f64(
+                        step.think.as_secs_f64() / server_compute_index,
+                    );
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(m: u64) -> SimDuration {
+        SimDuration::from_millis(m)
+    }
+
+    #[test]
+    fn ftp_script_has_no_gsi() {
+        let s = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        assert!(s.steps().iter().all(|st| st.name != "gsi-handshake"));
+        assert!(s.steps().iter().any(|st| st.name == "USER/PASS"));
+        assert!(s.steps().iter().all(|st| st.name != "MODE E"));
+    }
+
+    #[test]
+    fn gridftp_script_includes_gsi_and_mode() {
+        let s = ControlScript::retrieve(Protocol::GridFtp, TransferMode::extended_default(), 4, DataChannelProtection::Clear);
+        let names: Vec<&str> = s.steps().iter().map(|st| st.name).collect();
+        assert!(names.contains(&"gsi-handshake"));
+        assert!(names.contains(&"MODE E"));
+        assert!(names.contains(&"OPTS RETR Parallelism"));
+    }
+
+    #[test]
+    fn gridftp_stream_mode_skips_mode_e() {
+        let s = ControlScript::retrieve(Protocol::GridFtp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        assert!(s.steps().iter().all(|st| st.name != "MODE E"));
+        assert!(s.steps().iter().all(|st| st.name != "OPTS RETR Parallelism"));
+    }
+
+    #[test]
+    fn gridftp_costs_more_than_ftp() {
+        let gsi = GsiConfig::default();
+        let ftp = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear)
+            .duration(ms(10), &gsi, 2.0, 2.0);
+        let gftp = ControlScript::retrieve(Protocol::GridFtp, TransferMode::Stream, 0, DataChannelProtection::Clear)
+            .duration(ms(10), &gsi, 2.0, 2.0);
+        assert!(gftp > ftp, "GridFTP {gftp} must exceed FTP {ftp}");
+        // The gap is dominated by the handshake.
+        let gap = (gftp - ftp).as_millis_f64();
+        assert!(gap > 250.0, "gap {gap} ms");
+    }
+
+    #[test]
+    fn duration_scales_with_rtt() {
+        let gsi = GsiConfig::disabled();
+        let script = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        let short = script.duration(ms(1), &gsi, 1.0, 1.0);
+        let long = script.duration(ms(100), &gsi, 1.0, 1.0);
+        assert!(long > short * 20);
+    }
+
+    #[test]
+    fn slow_server_thinks_longer() {
+        let gsi = GsiConfig::disabled();
+        let script = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        let fast = script.duration(ms(1), &gsi, 1.0, 8.0);
+        let slow = script.duration(ms(1), &gsi, 1.0, 0.5);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn completion_is_short() {
+        let gsi = GsiConfig::disabled();
+        let d = ControlScript::completion().duration(ms(10), &gsi, 1.0, 1.0);
+        assert!(d < ms(10));
+    }
+}
+
+#[cfg(test)]
+mod reuse_tests {
+    use super::*;
+
+    #[test]
+    fn cached_script_skips_connection_and_auth() {
+        let s = ControlScript::retrieve_cached(
+            TransferMode::extended_default(),
+            4,
+            DataChannelProtection::Clear,
+        );
+        let names: Vec<&str> = s.steps().iter().map(|st| st.name).collect();
+        assert!(!names.contains(&"connect"));
+        assert!(!names.contains(&"banner"));
+        assert!(!names.contains(&"gsi-handshake"));
+        assert!(names.contains(&"MODE E"));
+        assert!(names.contains(&"RETR"));
+    }
+
+    #[test]
+    fn cached_script_is_much_cheaper() {
+        let gsi = GsiConfig::default();
+        let full = ControlScript::retrieve(
+            Protocol::GridFtp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        )
+        .duration(SimDuration::from_millis(10), &gsi, 2.0, 2.0);
+        let cached = ControlScript::retrieve_cached(
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        )
+        .duration(SimDuration::from_millis(10), &gsi, 2.0, 2.0);
+        assert!(
+            cached.as_secs_f64() < full.as_secs_f64() / 5.0,
+            "cached {cached} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn cached_script_still_negotiates_protection() {
+        let s = ControlScript::retrieve_cached(
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Private,
+        );
+        assert!(s.steps().iter().any(|st| st.name == "PBSZ/PROT"));
+    }
+}

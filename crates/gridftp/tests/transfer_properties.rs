@@ -1,0 +1,114 @@
+//! Property-based tests of transfer execution invariants.
+
+use datagrid_gridftp::prelude::*;
+use datagrid_simnet::prelude::*;
+use proptest::prelude::*;
+
+fn wan(bottleneck_mbps: f64, loss: f64) -> (NetSim, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let src = t.add_node("src");
+    let mid = t.add_node("mid");
+    let dst = t.add_node("dst");
+    t.add_duplex_link(
+        src,
+        mid,
+        LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::from_millis(1)),
+    );
+    t.add_duplex_link(
+        mid,
+        dst,
+        LinkSpec::new(Bandwidth::from_mbps(bottleneck_mbps), SimDuration::from_millis(8))
+            .with_loss(loss),
+    );
+    (NetSim::new(t, 3), src, dst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transfer duration is bounded below by physics: payload over the
+    /// bottleneck capacity, plus it always exceeds the pure control time.
+    #[test]
+    fn duration_respects_physics(
+        mbytes in 1u64..64,
+        streams in 0u32..16,
+        bottleneck in 10.0f64..500.0,
+    ) {
+        let (mut sim, src, dst) = wan(bottleneck, 0.002);
+        let mut req = TransferRequest::new(mbytes << 20);
+        if streams > 0 {
+            req = req.with_parallelism(streams);
+        }
+        let outcome = run_transfer(
+            &mut sim,
+            &req,
+            &TransferEndpoint::unconstrained(src),
+            &TransferEndpoint::unconstrained(dst),
+            &TcpParams::default(),
+        ).unwrap();
+        let min_secs = (mbytes << 20) as f64 * 8.0 / (bottleneck * 1e6);
+        prop_assert!(
+            outcome.duration().as_secs_f64() >= min_secs * 0.999,
+            "{} s under physical floor {} s",
+            outcome.duration().as_secs_f64(),
+            min_secs
+        );
+        prop_assert!(outcome.control_overhead() > SimDuration::ZERO);
+        prop_assert_eq!(outcome.payload_bytes, mbytes << 20);
+        prop_assert!(outcome.wire_bytes >= outcome.payload_bytes);
+        // Phases tile the outcome: control, data, completion.
+        let phases = &outcome.phases;
+        prop_assert_eq!(phases.len(), 3);
+        prop_assert_eq!(phases[0].start, outcome.started);
+        for w in phases.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        prop_assert_eq!(phases[2].end, outcome.finished);
+    }
+
+    /// More parallel streams never make a lossy-WAN transfer slower by
+    /// more than the framing/negotiation epsilon.
+    #[test]
+    fn parallelism_is_monotone_enough(mbytes in 8u64..64) {
+        let times: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&p| {
+                let (mut sim, src, dst) = wan(30.0, 0.01);
+                run_transfer(
+                    &mut sim,
+                    &TransferRequest::new(mbytes << 20).with_parallelism(p),
+                    &TransferEndpoint::unconstrained(src),
+                    &TransferEndpoint::unconstrained(dst),
+                    &TcpParams::default(),
+                )
+                .unwrap()
+                .duration()
+                .as_secs_f64()
+            })
+            .collect();
+        for w in times.windows(2) {
+            prop_assert!(w[1] <= w[0] * 1.02, "{:?} not monotone", times);
+        }
+    }
+
+    /// Endpoint caps bound the data-phase rate.
+    #[test]
+    fn endpoint_disk_caps_bind(disk_mbps in 8.0f64..80.0) {
+        let (mut sim, src, dst) = wan(1000.0, 0.0);
+        let outcome = run_transfer(
+            &mut sim,
+            &TransferRequest::new(32 << 20),
+            &TransferEndpoint::new(
+                src,
+                Bandwidth::from_mbps(disk_mbps),
+                Bandwidth::from_mbps(disk_mbps),
+                1.0,
+                16.0,
+            ),
+            &TransferEndpoint::unconstrained(dst),
+            &TcpParams::default(),
+        ).unwrap();
+        let rate = outcome.data_throughput().as_mbps();
+        prop_assert!(rate <= disk_mbps * 1.001, "rate {rate} exceeds disk {disk_mbps}");
+    }
+}

@@ -1,0 +1,138 @@
+//! First-order autoregressive forecaster.
+
+use std::collections::VecDeque;
+
+use super::Forecaster;
+
+/// AR(1) forecaster: fits `x[t+1] = a + b·x[t]` by least squares over a
+/// sliding window and extrapolates one step from the latest value.
+///
+/// Captures mean-reverting or trending bandwidth series better than plain
+/// means when consecutive measurements are correlated.
+#[derive(Debug, Clone)]
+pub struct Ar1Forecaster {
+    window: usize,
+    buf: VecDeque<f64>,
+}
+
+impl Ar1Forecaster {
+    /// Creates an AR(1) forecaster fitting over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 3` (a regression needs at least three points to
+    /// be meaningful).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 3, "AR(1) window must be at least 3, got {window}");
+        Ar1Forecaster {
+            window,
+            buf: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Fits `(a, b)` over the current buffer, or `None` with fewer than
+    /// three samples or a degenerate (constant) regressor.
+    fn fit(&self) -> Option<(f64, f64)> {
+        let n = self.buf.len();
+        if n < 3 {
+            return None;
+        }
+        // Pairs (x[i], x[i+1]) for i in 0..n-1.
+        let m = (n - 1) as f64;
+        let xs = self.buf.iter().take(n - 1);
+        let ys = self.buf.iter().skip(1);
+        let sum_x: f64 = xs.clone().sum();
+        let sum_y: f64 = ys.clone().sum();
+        let mean_x = sum_x / m;
+        let mean_y = sum_y / m;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.zip(ys) {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+        }
+        if sxx <= f64::EPSILON * m {
+            return None; // constant series: slope undefined
+        }
+        let b = sxy / sxx;
+        let a = mean_y - b * mean_x;
+        Some((a, b))
+    }
+}
+
+impl Forecaster for Ar1Forecaster {
+    fn name(&self) -> &'static str {
+        "ar1"
+    }
+
+    fn update(&mut self, value: f64) {
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(value);
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        let last = *self.buf.back()?;
+        match self.fit() {
+            Some((a, b)) => Some(a + b * last),
+            // Degenerate/short series: fall back to the last value.
+            None => Some(last),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_falls_back_to_last_value() {
+        let mut f = Ar1Forecaster::new(10);
+        assert_eq!(f.forecast(), None);
+        f.update(5.0);
+        assert_eq!(f.forecast(), Some(5.0));
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let mut f = Ar1Forecaster::new(10);
+        for _ in 0..10 {
+            f.update(7.0);
+        }
+        assert_eq!(f.forecast(), Some(7.0));
+    }
+
+    #[test]
+    fn linear_ramp_extrapolates() {
+        let mut f = Ar1Forecaster::new(20);
+        for i in 0..20 {
+            f.update(i as f64);
+        }
+        // Perfect ramp: x[t+1] = 1 + x[t]; forecast from 19 is 20.
+        let fc = f.forecast().unwrap();
+        assert!((fc - 20.0).abs() < 1e-9, "forecast {fc}");
+    }
+
+    #[test]
+    fn mean_reverting_series_pulls_toward_mean() {
+        // x alternates 9, 11 around mean 10: AR(1) fit has negative slope,
+        // so from 11 it forecasts below 11.
+        let mut f = Ar1Forecaster::new(16);
+        for i in 0..16 {
+            f.update(if i % 2 == 0 { 9.0 } else { 11.0 });
+        }
+        let fc = f.forecast().unwrap();
+        assert!(fc < 11.0, "forecast {fc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_window_rejected() {
+        let _ = Ar1Forecaster::new(2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Last-value and exponential-smoothing forecasters.
+
+use super::Forecaster;
+
+/// Predicts that the next measurement equals the latest one.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates an empty last-value forecaster.
+    pub fn new() -> Self {
+        LastValue::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> &'static str {
+        "last_value"
+    }
+
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        self.last
+    }
+
+    fn clone_box(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+/// Exponentially weighted moving average:
+/// `s' = alpha · value + (1 - alpha) · s`.
+///
+/// NWS runs several gains in parallel; small `alpha` smooths hard, large
+/// `alpha` tracks fast.
+#[derive(Debug, Clone)]
+pub struct ExpSmoothing {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl ExpSmoothing {
+    /// Creates a smoother with gain `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        ExpSmoothing { alpha, state: None }
+    }
+
+    /// The configured gain.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Forecaster for ExpSmoothing {
+    fn name(&self) -> &'static str {
+        "exp_smoothing"
+    }
+
+    fn update(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.alpha * value + (1.0 - self.alpha) * s,
+        });
+    }
+
+    fn forecast(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn clone_box(&self) -> Box<dyn Forecaster> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_echoes() {
+        let mut f = LastValue::new();
+        assert_eq!(f.forecast(), None);
+        f.update(3.0);
+        assert_eq!(f.forecast(), Some(3.0));
+        f.update(-1.5);
+        assert_eq!(f.forecast(), Some(-1.5));
+    }
+
+    #[test]
+    fn smoothing_first_sample_initialises() {
+        let mut f = ExpSmoothing::new(0.3);
+        f.update(10.0);
+        assert_eq!(f.forecast(), Some(10.0));
+    }
+
+    #[test]
+    fn smoothing_blends() {
+        let mut f = ExpSmoothing::new(0.5);
+        f.update(0.0);
+        f.update(10.0);
+        assert_eq!(f.forecast(), Some(5.0));
+        f.update(10.0);
+        assert_eq!(f.forecast(), Some(7.5));
+    }
+
+    #[test]
+    fn alpha_one_is_last_value() {
+        let mut f = ExpSmoothing::new(1.0);
+        f.update(4.0);
+        f.update(9.0);
+        assert_eq!(f.forecast(), Some(9.0));
+    }
+
+    #[test]
+    fn small_alpha_smooths_harder_than_large() {
+        let mut slow = ExpSmoothing::new(0.1);
+        let mut fast = ExpSmoothing::new(0.9);
+        for f in [&mut slow, &mut fast] {
+            f.update(0.0);
+            f.update(100.0);
+        }
+        assert!(slow.forecast().unwrap() < fast.forecast().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_rejected() {
+        let _ = ExpSmoothing::new(0.0);
+    }
+}

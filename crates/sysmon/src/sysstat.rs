@@ -1,0 +1,291 @@
+//! sysstat-style samplers and report rendering.
+//!
+//! The paper reads I/O state with the Linux **sysstat** utilities (`sar`,
+//! `iostat`). This module renders the simulated host histories in the same
+//! shape, both as structured records and as the familiar text tables, so
+//! the monitoring programs built on top (the paper's Fig. 5 GUI, our `fig5`
+//! binary) have the same inputs a real deployment would.
+
+use std::fmt::Write as _;
+
+use datagrid_simnet::topology::Bandwidth;
+use datagrid_simnet::trace::LinkTrace;
+
+use crate::host::{HostSample, SimHost};
+
+/// A `sar -u`-style CPU breakdown derived from total utilisation.
+///
+/// The simulation tracks one utilisation number; the split into
+/// user/system/iowait follows fixed typical proportions for an I/O-serving
+/// host (65 % user, 25 % system, 10 % iowait of the busy share).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuBreakdown {
+    /// %user
+    pub user: f64,
+    /// %system
+    pub system: f64,
+    /// %iowait
+    pub iowait: f64,
+    /// %idle
+    pub idle: f64,
+}
+
+impl CpuBreakdown {
+    /// Splits a total utilisation into the conventional categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn from_utilization(utilization: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilisation must be in [0, 1], got {utilization}"
+        );
+        CpuBreakdown {
+            user: utilization * 0.65,
+            system: utilization * 0.25,
+            iowait: utilization * 0.10,
+            idle: 1.0 - utilization,
+        }
+    }
+
+    /// The categories sum back to 1 (within rounding).
+    pub fn total(&self) -> f64 {
+        self.user + self.system + self.iowait + self.idle
+    }
+}
+
+/// One `iostat`-style device line derived from a host sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IostatLine {
+    /// Device utilisation percentage (`%util`).
+    pub util_pct: f64,
+    /// Transfers per second (synthesised from utilisation and device
+    /// characteristics: a saturated 2005 IDE disk does ~150 tps).
+    pub tps: f64,
+    /// Megabytes read per second.
+    pub read_mb_s: f64,
+}
+
+impl IostatLine {
+    /// Derives an iostat line from an I/O busy fraction and the disk's peak
+    /// read rate in MB/s.
+    pub fn from_sample(io_util: f64, peak_read_mb_s: f64) -> Self {
+        IostatLine {
+            util_pct: io_util * 100.0,
+            tps: io_util * 150.0,
+            read_mb_s: io_util * peak_read_mb_s,
+        }
+    }
+}
+
+/// Renders a `sar -u`-style report over a host's recorded history.
+///
+/// ```
+/// # use datagrid_simnet::rng::SimRng;
+/// # use datagrid_simnet::time::{SimDuration, SimTime};
+/// # use datagrid_sysmon::host::{HostSpec, SimHost};
+/// # use datagrid_sysmon::load::LoadModel;
+/// use datagrid_sysmon::sysstat::sar_report;
+///
+/// # let mut host = SimHost::new(HostSpec::new("alpha1"), LoadModel::Constant(0.2),
+/// #     LoadModel::Constant(0.1), SimDuration::from_secs(10), SimRng::seed_from_u64(1));
+/// # host.advance_to(SimTime::from_secs_f64(30.0));
+/// let report = sar_report(&host);
+/// assert!(report.contains("%idle"));
+/// ```
+pub fn sar_report(host: &SimHost) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Linux (simulated) {}    CPU utilisation", host.name());
+    let _ = writeln!(
+        out,
+        "{:>12} {:>8} {:>8} {:>8} {:>8}",
+        "time", "%user", "%system", "%iowait", "%idle"
+    );
+    for s in host.history() {
+        let b = CpuBreakdown::from_utilization(s.cpu_util);
+        let _ = writeln!(
+            out,
+            "{:>12.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            s.time.as_secs_f64(),
+            b.user * 100.0,
+            b.system * 100.0,
+            b.iowait * 100.0,
+            b.idle * 100.0
+        );
+    }
+    if let Some(avg) = average_cpu(host.history()) {
+        let b = CpuBreakdown::from_utilization(avg);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            "Average:",
+            b.user * 100.0,
+            b.system * 100.0,
+            b.iowait * 100.0,
+            b.idle * 100.0
+        );
+    }
+    out
+}
+
+/// Renders an `iostat`-style device report over a host's history.
+pub fn iostat_report(host: &SimHost) -> String {
+    let peak_mb_s = host.spec().disk.read_bandwidth.as_bytes_per_sec() / 1e6;
+    let mut out = String::new();
+    let _ = writeln!(out, "Device report for {} (hda)", host.name());
+    let _ = writeln!(
+        out,
+        "{:>12} {:>8} {:>10} {:>12}",
+        "time", "%util", "tps", "MB_read/s"
+    );
+    for s in host.history() {
+        let line = IostatLine::from_sample(s.io_util, peak_mb_s);
+        let _ = writeln!(
+            out,
+            "{:>12.2} {:>8.2} {:>10.2} {:>12.2}",
+            s.time.as_secs_f64(),
+            line.util_pct,
+            line.tps,
+            line.read_mb_s
+        );
+    }
+    out
+}
+
+/// Renders a `sar -n DEV`-style network interface report from a recorded
+/// link utilisation trace (see
+/// [`NetworkTrace`](datagrid_simnet::trace::NetworkTrace)).
+///
+/// `capacity` is the interface's line rate; throughput columns are derived
+/// from utilisation × capacity.
+pub fn ifstat_report(iface: &str, trace: &LinkTrace, capacity: Bandwidth) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Network report for {iface} ({capacity})");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>8} {:>12} {:>12}",
+        "time", "%ifutil", "rxkB/s", "rxpck/s"
+    );
+    for s in trace.samples() {
+        let bytes_per_s = s.utilization * capacity.as_bytes_per_sec();
+        let _ = writeln!(
+            out,
+            "{:>12.2} {:>8.2} {:>12.1} {:>12.1}",
+            s.time.as_secs_f64(),
+            s.utilization * 100.0,
+            bytes_per_s / 1024.0,
+            bytes_per_s / 1460.0, // MTU-sized packets
+        );
+    }
+    out
+}
+
+/// Mean CPU utilisation over a sample slice, `None` when empty.
+pub fn average_cpu(samples: &[HostSample]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().map(|s| s.cpu_util).sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Mean I/O utilisation over a sample slice, `None` when empty.
+pub fn average_io(samples: &[HostSample]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().map(|s| s.io_util).sum::<f64>() / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use crate::load::LoadModel;
+    use datagrid_simnet::rng::SimRng;
+    use datagrid_simnet::time::{SimDuration, SimTime};
+
+    fn host() -> SimHost {
+        let mut h = SimHost::new(
+            HostSpec::new("alpha1"),
+            LoadModel::Constant(0.4),
+            LoadModel::Constant(0.2),
+            SimDuration::from_secs(10),
+            SimRng::seed_from_u64(1),
+        );
+        h.advance_to(SimTime::from_secs_f64(30.0));
+        h
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        for u in [0.0, 0.25, 0.5, 1.0] {
+            let b = CpuBreakdown::from_utilization(u);
+            assert!((b.total() - 1.0).abs() < 1e-12);
+            assert!((b.idle - (1.0 - u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sar_report_contains_rows_and_average() {
+        let r = sar_report(&host());
+        assert!(r.contains("%user"));
+        assert!(r.contains("Average:"));
+        // Three samples at 10/20/30 s plus header lines.
+        assert_eq!(r.lines().count(), 2 + 3 + 1);
+        assert!(r.contains("60.00"), "idle 60% should appear: {r}");
+    }
+
+    #[test]
+    fn iostat_report_reflects_busy_fraction() {
+        let r = iostat_report(&host());
+        assert!(r.contains("%util"));
+        assert!(r.contains("20.00"), "20% util should appear: {r}");
+    }
+
+    #[test]
+    fn averages_over_history() {
+        let h = host();
+        assert!((average_cpu(h.history()).unwrap() - 0.4).abs() < 1e-12);
+        assert!((average_io(h.history()).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(average_cpu(&[]), None);
+        assert_eq!(average_io(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilisation must be in [0, 1]")]
+    fn breakdown_rejects_out_of_range() {
+        let _ = CpuBreakdown::from_utilization(1.2);
+    }
+}
+
+#[cfg(test)]
+mod ifstat_tests {
+    use super::*;
+    use datagrid_simnet::prelude::*;
+    use datagrid_simnet::trace::NetworkTrace;
+
+    #[test]
+    fn ifstat_renders_utilisation_rows() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let (fwd, _) = topo.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(1)),
+        );
+        let mut sim = NetSim::new(topo, 1);
+        let mut trace = NetworkTrace::watching([fwd]);
+        sim.start_flow(FlowSpec::new(a, b, 10_000_000).with_cap(Bandwidth::from_mbps(80.0)));
+        trace.sample(&sim);
+        let report = ifstat_report("eth0", trace.link(fwd).unwrap(), Bandwidth::from_mbps(100.0));
+        assert!(report.contains("eth0"));
+        assert!(report.contains("%ifutil"));
+        assert!(report.contains("80.00"), "80% utilisation row: {report}");
+        // 80 Mbps = 10 MB/s ≈ 9765.6 kB/s.
+        assert!(report.contains("9765.6"), "{report}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the NWS forecaster battery.
+
+use datagrid_simnet::rng::SimRng;
+use datagrid_sysmon::nws::forecast::{
+    Ar1Forecaster, ExpSmoothing, Forecaster, LastValue, MetaForecaster, RunningMean,
+    SlidingMean, SlidingMedian, TrimmedMean,
+};
+use proptest::prelude::*;
+
+fn battery_members() -> Vec<Box<dyn Forecaster>> {
+    vec![
+        Box::new(LastValue::new()),
+        Box::new(RunningMean::new()),
+        Box::new(SlidingMean::new(7)),
+        Box::new(SlidingMedian::new(7)),
+        Box::new(TrimmedMean::new(9, 0.2)),
+        Box::new(ExpSmoothing::new(0.3)),
+        Box::new(Ar1Forecaster::new(12)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Window-bounded forecasters always forecast within the range of the
+    /// values they have seen (no extrapolation blow-ups), except AR(1)
+    /// which may extrapolate but must stay finite.
+    #[test]
+    fn forecasts_stay_finite_and_mostly_bounded(
+        values in proptest::collection::vec(0.0f64..1e9, 1..200),
+    ) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for mut member in battery_members() {
+            for &v in &values {
+                member.update(v);
+            }
+            let f = member.forecast().expect("warmed up");
+            prop_assert!(f.is_finite(), "{} produced {f}", member.name());
+            if member.name() != "ar1" {
+                prop_assert!(
+                    f >= lo - 1e-6 && f <= hi + 1e-6,
+                    "{} forecast {f} outside [{lo}, {hi}]",
+                    member.name()
+                );
+            }
+        }
+    }
+
+    /// On a constant series every forecaster converges to the constant.
+    #[test]
+    fn constant_series_is_learned(value in 0.0f64..1e9, n in 15usize..100) {
+        for mut member in battery_members() {
+            for _ in 0..n {
+                member.update(value);
+            }
+            let f = member.forecast().unwrap();
+            prop_assert!(
+                (f - value).abs() <= 1e-9 * value.max(1.0),
+                "{}: {f} != {value}",
+                member.name()
+            );
+        }
+    }
+
+    /// The meta-forecaster's selected member never has a worse cumulative
+    /// MAE than any other member that has produced the same number of
+    /// predictions.
+    #[test]
+    fn meta_selects_a_minimal_mae_member(
+        seed in 0u64..1000,
+        n in 30usize..200,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut meta = MetaForecaster::nws_battery();
+        for _ in 0..n {
+            meta.update(rng.normal(100.0, 20.0));
+        }
+        let selected = meta.selected().expect("warmed up");
+        let scores = meta.scores();
+        let sel_mae = scores
+            .iter()
+            .find(|s| s.name == selected)
+            .map(|s| s.mae());
+        // At least one member carries the minimal MAE, and the selected
+        // one matches it (modulo members that share a name, where the
+        // battery may select either instance).
+        let min_mae = scores
+            .iter()
+            .map(|s| s.mae())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(sel_mae.is_some());
+        let sel_named_min = scores
+            .iter()
+            .filter(|s| s.name == selected)
+            .map(|s| s.mae())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            sel_named_min <= min_mae + 1e-12,
+            "selected {selected} (MAE {sel_named_min}) vs best {min_mae}"
+        );
+    }
+
+    /// Battery updates are order-stable: cloning mid-stream and continuing
+    /// identically produces identical state.
+    #[test]
+    fn battery_clone_is_transparent(
+        prefix in proptest::collection::vec(0.0f64..1e6, 1..50),
+        suffix in proptest::collection::vec(0.0f64..1e6, 1..50),
+    ) {
+        let mut a = MetaForecaster::nws_battery();
+        for &v in &prefix {
+            a.update(v);
+        }
+        let mut b = a.clone();
+        for &v in &suffix {
+            a.update(v);
+            b.update(v);
+        }
+        prop_assert_eq!(a.forecast(), b.forecast());
+        prop_assert_eq!(a.selected(), b.selected());
+    }
+}

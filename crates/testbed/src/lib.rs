@@ -1,0 +1,29 @@
+//! # datagrid-testbed
+//!
+//! The paper's experimental environment, reproduced in simulation:
+//!
+//! * [`calibration`] — the constants that set absolute scale (WAN
+//!   latencies, loss rates, background traffic, disks, GSI cost),
+//! * [`sites`] — the three-cluster testbed (THU, Li-Zen, HIT) wired to a
+//!   TANet backbone, with the paper's host names,
+//! * [`workload`] — request workloads over replicated files,
+//! * [`experiment`] — text-table rendering and the selection-quality
+//!   harness (oracle comparison) used by the benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calibration;
+pub mod experiment;
+pub mod sites;
+pub mod workload;
+
+pub use sites::{canonical_host, paper_testbed, PaperSites};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::calibration::Calibration;
+    pub use crate::experiment::{replay_trace, selection_quality, QualityStats, TextTable};
+    pub use crate::sites::{canonical_host, paper_testbed, PaperSites};
+    pub use crate::workload::{Request, RequestTrace};
+}

@@ -1,0 +1,199 @@
+//! Request workloads over replicated files.
+
+use datagrid_simnet::rng::SimRng;
+use datagrid_simnet::time::{SimDuration, SimTime};
+
+/// One client request for a logical file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// When the request arrives.
+    pub at: SimTime,
+    /// The requesting host's name.
+    pub client: String,
+    /// The requested logical file name.
+    pub lfn: String,
+}
+
+/// A time-ordered trace of requests.
+///
+/// ```
+/// use datagrid_simnet::time::{SimDuration, SimTime};
+/// use datagrid_testbed::workload::RequestTrace;
+///
+/// let trace = RequestTrace::poisson(
+///     &["alpha1", "gridhit2"],
+///     &["file-a", "file-b"],
+///     0.1,
+///     SimDuration::from_secs(600),
+///     7,
+/// );
+/// assert!(!trace.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestTrace {
+    requests: Vec<Request>,
+}
+
+impl RequestTrace {
+    /// Builds a trace from explicit requests, sorting by arrival time.
+    pub fn from_requests(mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| r.at);
+        RequestTrace { requests }
+    }
+
+    /// Poisson arrivals at `rate_hz` over `duration`; each request picks a
+    /// uniform client and a Zipf(1)-distributed file (popular files are
+    /// requested often, as in data-intensive science workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` or `files` is empty or `rate_hz` is not
+    /// positive.
+    pub fn poisson(
+        clients: &[&str],
+        files: &[&str],
+        rate_hz: f64,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        assert!(!files.is_empty(), "need at least one file");
+        assert!(rate_hz > 0.0, "arrival rate must be positive");
+        let mut rng = SimRng::seed_from_u64(seed);
+        // Zipf(1) cumulative weights over files.
+        let weights: Vec<f64> = (1..=files.len()).map(|k| 1.0 / k as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut requests = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t += SimDuration::from_secs_f64(rng.exponential(rate_hz));
+            if t > SimTime::ZERO + duration {
+                break;
+            }
+            let client = clients[rng.below(clients.len() as u64) as usize];
+            let mut pick = rng.uniform(0.0, total);
+            let mut file = files[files.len() - 1];
+            for (f, w) in files.iter().zip(&weights) {
+                if pick < *w {
+                    file = f;
+                    break;
+                }
+                pick -= w;
+            }
+            requests.push(Request {
+                at: t,
+                client: client.to_string(),
+                lfn: file.to_string(),
+            });
+        }
+        RequestTrace { requests }
+    }
+
+    /// The requests in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+impl IntoIterator for RequestTrace {
+    type Item = Request;
+    type IntoIter = std::vec::IntoIter<Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.into_iter()
+    }
+}
+
+/// Synthesises a catalogue of file names and sizes for a data-intensive
+/// workload: lognormal sizes around `median_bytes` (high-energy physics
+/// event files, genome databases).
+pub fn synthetic_files(count: usize, median_bytes: u64, seed: u64) -> Vec<(String, u64)> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let size = (median_bytes as f64 * rng.lognormal(0.0, 0.6)).max(1.0) as u64;
+            (format!("dataset/file-{i:04}"), size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_ordered_and_bounded() {
+        let trace = RequestTrace::poisson(
+            &["a", "b"],
+            &["f1", "f2", "f3"],
+            0.5,
+            SimDuration::from_secs(1000),
+            1,
+        );
+        assert!(trace.len() > 100); // ~500 expected
+        let reqs = trace.requests();
+        assert!(reqs.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(reqs.iter().all(|r| r.at <= SimTime::from_secs_f64(1000.0)));
+    }
+
+    #[test]
+    fn zipf_prefers_popular_files() {
+        let trace = RequestTrace::poisson(
+            &["a"],
+            &["hot", "warm", "cold"],
+            1.0,
+            SimDuration::from_secs(3000),
+            2,
+        );
+        let count = |name: &str| trace.requests().iter().filter(|r| r.lfn == name).count();
+        assert!(count("hot") > count("warm"));
+        assert!(count("warm") > count("cold"));
+    }
+
+    #[test]
+    fn trace_deterministic_per_seed() {
+        let mk = |seed| RequestTrace::poisson(&["a"], &["f"], 1.0, SimDuration::from_secs(100), seed);
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+
+    #[test]
+    fn from_requests_sorts() {
+        let trace = RequestTrace::from_requests(vec![
+            Request {
+                at: SimTime::from_secs_f64(5.0),
+                client: "a".into(),
+                lfn: "f".into(),
+            },
+            Request {
+                at: SimTime::from_secs_f64(1.0),
+                client: "b".into(),
+                lfn: "g".into(),
+            },
+        ]);
+        assert_eq!(trace.requests()[0].client, "b");
+    }
+
+    #[test]
+    fn synthetic_files_have_plausible_sizes() {
+        let files = synthetic_files(50, 1 << 30, 3);
+        assert_eq!(files.len(), 50);
+        assert!(files.iter().all(|(n, _)| n.starts_with("dataset/")));
+        let median = {
+            let mut sizes: Vec<u64> = files.iter().map(|(_, s)| *s).collect();
+            sizes.sort_unstable();
+            sizes[25]
+        };
+        // Median within 2x of the requested one.
+        assert!(median > 1 << 29 && median < 1 << 32, "median {median}");
+    }
+}

@@ -1,0 +1,59 @@
+//! # datagrid
+//!
+//! A full reproduction of *"Performance Analysis of Applying Replica
+//! Selection Technology for Data Grid Environments"* (Yang, Chen, Li, Hsu —
+//! PaCT 2005) as a Rust library.
+//!
+//! The paper builds a Data Grid out of three Linux PC clusters, measures
+//! FTP vs. GridFTP and GridFTP parallel-stream transfers, and proposes a
+//! weighted **cost model** over network bandwidth, CPU idle and I/O idle to
+//! pick the best replica. This crate family replaces the physical testbed
+//! with a deterministic discrete-event simulation and implements the whole
+//! software stack the paper relies on:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | network simulation (fluid flows, TCP, background traffic) | [`simnet`] |
+//! | host load, sysstat, NWS forecasting, MDS | [`sysmon`] |
+//! | FTP / GridFTP protocol model | [`gridftp`] |
+//! | replica catalog and management | [`catalog`] |
+//! | cost model, selection policies, DataGrid orchestrator | [`core`] |
+//! | the paper's testbed, workloads, experiment harness | [`testbed`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datagrid::prelude::*;
+//!
+//! // Build the paper's three-cluster testbed and fetch a replicated file.
+//! let mut grid = paper_testbed(42).build();
+//! grid.catalog_mut().register_logical("file-a".parse()?, 64 << 20)?;
+//! for host in ["alpha4", "hit0", "lz02"] {
+//!     grid.place_replica("file-a", canonical_host(host))?;
+//! }
+//! grid.warm_up(SimDuration::from_secs(60));
+//! let client = grid.host_id("alpha1").unwrap();
+//! let report = grid.fetch(client, "file-a")?;
+//! assert!(report.transfer.duration().as_secs_f64() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use datagrid_catalog as catalog;
+pub use datagrid_core as core;
+pub use datagrid_gridftp as gridftp;
+pub use datagrid_simnet as simnet;
+pub use datagrid_sysmon as sysmon;
+pub use datagrid_testbed as testbed;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use datagrid_catalog::prelude::*;
+    pub use datagrid_core::prelude::*;
+    pub use datagrid_gridftp::prelude::*;
+    pub use datagrid_simnet::prelude::*;
+    pub use datagrid_sysmon::prelude::*;
+    pub use datagrid_testbed::prelude::*;
+}

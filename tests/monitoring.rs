@@ -1,0 +1,141 @@
+//! Integration tests of the monitoring stack (NWS + MDS + sysstat) as the
+//! selection server consumes it.
+
+use datagrid::prelude::*;
+use datagrid::sysmon::sysstat;
+
+#[test]
+fn sensors_warm_up_and_track_path_rates() {
+    let mut grid = paper_testbed(101).build();
+    grid.warm_up(SimDuration::from_secs(300));
+    let alpha1 = grid.host_id("alpha1").unwrap();
+
+    // LAN neighbour: near the full 1 Gbps reference.
+    let alpha4 = grid.host_id("alpha4").unwrap();
+    let lan = grid
+        .nws()
+        .sensor(grid.node_of(alpha4), grid.node_of(alpha1))
+        .unwrap();
+    let lan_forecast = lan.forecast().unwrap().as_mbps();
+    assert!(lan_forecast > 700.0, "LAN forecast {lan_forecast} Mbps");
+
+    // HIT path: Mathis-limited around 36 Mbps.
+    let hit0 = grid.host_id("gridhit0").unwrap();
+    let wan = grid
+        .nws()
+        .sensor(grid.node_of(hit0), grid.node_of(alpha1))
+        .unwrap();
+    let wan_forecast = wan.forecast().unwrap().as_mbps();
+    assert!(
+        (20.0..60.0).contains(&wan_forecast),
+        "THU<-HIT forecast {wan_forecast} Mbps"
+    );
+
+    // Li-Zen path: heavily loss-limited, single-digit Mbps.
+    let lz02 = grid.host_id("lz02").unwrap();
+    let lz = grid
+        .nws()
+        .sensor(grid.node_of(lz02), grid.node_of(alpha1))
+        .unwrap();
+    let lz_forecast = lz.forecast().unwrap().as_mbps();
+    assert!(
+        (1.0..10.0).contains(&lz_forecast),
+        "THU<-LZ forecast {lz_forecast} Mbps"
+    );
+
+    // Fractions ordered accordingly.
+    let f_lan = grid.bandwidth_fraction(alpha4, alpha1).unwrap();
+    let f_wan = grid.bandwidth_fraction(hit0, alpha1).unwrap();
+    let f_lz = grid.bandwidth_fraction(lz02, alpha1).unwrap();
+    assert!(f_lan > f_wan && f_wan > f_lz, "{f_lan} > {f_wan} > {f_lz}");
+}
+
+#[test]
+fn battery_scores_are_populated_after_warmup() {
+    let mut grid = paper_testbed(102).build();
+    grid.warm_up(SimDuration::from_secs(600));
+    let alpha1 = grid.host_id("alpha1").unwrap();
+    let lz02 = grid.host_id("lz02").unwrap();
+    let sensor = grid
+        .nws()
+        .sensor(grid.node_of(lz02), grid.node_of(alpha1))
+        .unwrap();
+    assert!(sensor.series().len() >= 50, "samples {}", sensor.series().len());
+    assert!(sensor.battery().selected().is_some());
+    let scored: Vec<_> = sensor
+        .battery()
+        .scores()
+        .iter()
+        .filter(|s| s.predictions > 0)
+        .collect();
+    assert!(scored.len() >= 10, "most members scored: {}", scored.len());
+    // Every member's MAE is finite and non-negative.
+    for s in &scored {
+        assert!(s.mae().is_finite() && s.mae() >= 0.0);
+        assert!(s.mse() >= 0.0);
+    }
+}
+
+#[test]
+fn mds_reflects_load_processes() {
+    let mut grid = paper_testbed(103).build();
+    grid.warm_up(SimDuration::from_secs(120));
+    for name in ["alpha1", "lz01", "gridhit0"] {
+        let rec = grid.mds().lookup(name).unwrap();
+        assert!((0.0..=1.0).contains(&rec.cpu_idle), "{name}: {rec:?}");
+        assert!((0.0..=1.0).contains(&rec.io_idle));
+        assert!(rec.updated > SimTime::ZERO, "{name} never refreshed");
+    }
+    // Li-Zen machines run hotter on average than HIT (per site models):
+    // compare across the four machines of each site to smooth noise.
+    let avg = |names: [&str; 4]| {
+        names
+            .iter()
+            .map(|n| grid.mds().lookup(n).unwrap().cpu_idle)
+            .sum::<f64>()
+            / 4.0
+    };
+    let lz_idle = avg(["lz01", "lz02", "lz03", "lz04"]);
+    let hit_idle = avg(["gridhit0", "gridhit1", "gridhit2", "gridhit3"]);
+    assert!(
+        lz_idle < hit_idle + 0.25,
+        "lz {lz_idle} should generally be busier than hit {hit_idle}"
+    );
+}
+
+#[test]
+fn sysstat_reports_render_for_all_hosts() {
+    let mut grid = paper_testbed(104).build();
+    grid.warm_up(SimDuration::from_secs(120));
+    for id in grid.host_ids().collect::<Vec<_>>() {
+        let host = grid.host(id);
+        let sar = sysstat::sar_report(host);
+        assert!(sar.contains(host.name()));
+        assert!(sar.contains("%idle"));
+        assert!(sar.lines().count() > 3, "history rendered for {}", host.name());
+        let io = sysstat::iostat_report(host);
+        assert!(io.contains("%util"));
+    }
+}
+
+#[test]
+fn host_histories_accumulate_bounded_samples() {
+    let mut grid = paper_testbed(105).build();
+    grid.warm_up(SimDuration::from_secs(600));
+    let id = grid.host_id("alpha3").unwrap();
+    let history = grid.host(id).history();
+    // 10 s interval over 600 s => ~60 samples.
+    assert!((55..=61).contains(&history.len()), "samples {}", history.len());
+    assert!(history.windows(2).all(|w| w[0].time < w[1].time));
+}
+
+#[test]
+fn probes_do_not_pile_up_on_slow_paths() {
+    // After a long warm-up the number of in-flight probes stays bounded by
+    // the number of monitored pairs.
+    let mut grid = paper_testbed(106).build();
+    grid.warm_up(SimDuration::from_secs(1200));
+    let active = grid.network().active_flow_count();
+    // 22 monitored pairs + some background flows; generous bound.
+    assert!(active < 80, "active flows {active}");
+}

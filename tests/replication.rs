@@ -1,0 +1,69 @@
+//! Integration test: dynamic replication advice closing the loop with the
+//! replica manager on the paper testbed.
+
+use datagrid::core::replication::{ReplicationManager, ReplicationStrategy};
+use datagrid::prelude::*;
+
+const MB: u64 = 1 << 20;
+
+#[test]
+fn count_based_replication_makes_later_fetches_local() {
+    let mut grid = paper_testbed(200).build();
+    grid.catalog_mut()
+        .register_logical("hot".parse().unwrap(), 32 * MB)
+        .unwrap();
+    grid.place_replica("hot", "alpha4").unwrap();
+    grid.warm_up(SimDuration::from_secs(120));
+
+    let client = grid.host_id("gridhit2").unwrap();
+    let mut mgr = ReplicationManager::new(ReplicationStrategy::FetchCount { threshold: 2 });
+
+    let mut remote_durations = Vec::new();
+    let mut replicated = false;
+    for round in 0..4 {
+        let report = grid.fetch(client, "hot").unwrap();
+        if report.local_hit {
+            assert!(replicated, "local hit requires a prior replication");
+            assert!(round >= 2, "replication needs two remote fetches first");
+            // Local reads beat the remote WAN fetch.
+            let local = report.transfer.duration().as_secs_f64();
+            assert!(
+                local < remote_durations[0] * 0.9,
+                "local {local} should beat remote {:?}",
+                remote_durations
+            );
+            return;
+        }
+        remote_durations.push(report.transfer.duration().as_secs_f64());
+        if let Some(advice) = mgr.observe(&report) {
+            assert_eq!(advice.to_host, "gridhit2");
+            grid.replicate(&advice.lfn, &advice.to_host, 4).unwrap();
+            replicated = true;
+        }
+    }
+    panic!("replication never produced a local hit");
+}
+
+#[test]
+fn slow_fetch_strategy_targets_only_slow_paths() {
+    let mut grid = paper_testbed(201).build();
+    for (lfn, host) in [("near", "alpha4"), ("far", "lz02")] {
+        grid.catalog_mut()
+            .register_logical(lfn.parse().unwrap(), 16 * MB)
+            .unwrap();
+        grid.place_replica(lfn, host).unwrap();
+    }
+    grid.warm_up(SimDuration::from_secs(120));
+    let client = grid.host_id("alpha1").unwrap();
+    let mut mgr = ReplicationManager::new(ReplicationStrategy::SlowFetch { threshold_s: 10.0 });
+
+    let near = grid.fetch(client, "near").unwrap();
+    assert_eq!(mgr.observe(&near), None, "LAN fetch is fast enough");
+
+    let far = grid.fetch(client, "far").unwrap();
+    let advice = mgr
+        .observe(&far)
+        .expect("a 16 MiB pull over the lossy 30 Mbps path is slow");
+    assert_eq!(advice.lfn, "far");
+    assert_eq!(advice.to_host, "alpha1");
+}

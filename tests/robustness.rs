@@ -1,0 +1,121 @@
+//! Seed-robustness: the paper's qualitative findings must hold across
+//! random seeds, not just the default one.
+
+use datagrid::gridftp::transfer::{Protocol, TransferRequest};
+use datagrid::prelude::*;
+
+const MB: u64 = 1 << 20;
+const SEEDS: [u64; 4] = [1, 1999, 20050905, u64::MAX / 3];
+
+fn warmed(seed: u64, warm_s: u64) -> DataGrid {
+    let mut grid = paper_testbed(seed).build();
+    grid.warm_up(SimDuration::from_secs(warm_s));
+    grid
+}
+
+#[test]
+fn fig3_overhead_constant_across_seeds() {
+    for seed in SEEDS {
+        let run = |protocol| {
+            let mut grid = warmed(seed, 30);
+            let src = grid.host_id("alpha1").unwrap();
+            let dst = grid.host_id("gridhit3").unwrap();
+            grid.transfer_between(src, dst, TransferRequest::new(64 * MB).with_protocol(protocol))
+                .unwrap()
+                .duration()
+                .as_secs_f64()
+        };
+        let gap = run(Protocol::GridFtp) - run(Protocol::Ftp);
+        assert!((0.0..2.0).contains(&gap), "seed {seed}: gap {gap}");
+    }
+}
+
+#[test]
+fn fig4_parallel_speedup_across_seeds() {
+    for seed in SEEDS {
+        let run = |streams: u32| {
+            let mut grid = warmed(seed, 30);
+            let src = grid.host_id("alpha2").unwrap();
+            let dst = grid.host_id("lz04").unwrap();
+            grid.transfer_between(
+                src,
+                dst,
+                TransferRequest::new(32 * MB).with_parallelism(streams),
+            )
+            .unwrap()
+            .duration()
+            .as_secs_f64()
+        };
+        let s1 = run(1);
+        let s8 = run(8);
+        assert!(
+            s8 < s1 * 0.4,
+            "seed {seed}: 8 streams ({s8}) should be far faster than 1 ({s1})"
+        );
+    }
+}
+
+#[test]
+fn table1_ordering_across_seeds() {
+    for seed in SEEDS {
+        let mut grid = paper_testbed(seed).build();
+        grid.catalog_mut()
+            .register_logical("file-a".parse().unwrap(), 32 * MB)
+            .unwrap();
+        for host in ["alpha4", "hit0", "lz02"] {
+            grid.place_replica("file-a", canonical_host(host)).unwrap();
+        }
+        grid.warm_up(SimDuration::from_secs(180));
+        let client = grid.host_id("alpha1").unwrap();
+        let ranked = grid.score_candidates(client, "file-a").unwrap();
+        let names: Vec<&str> = ranked.iter().map(|c| c.host_name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["alpha4", "gridhit0", "lz02"],
+            "seed {seed}: ordering broke"
+        );
+    }
+}
+
+#[test]
+fn cost_model_beats_random_across_seeds() {
+    for seed in [3u64, 77] {
+        let build = || {
+            let mut grid = paper_testbed(seed).build();
+            grid.catalog_mut()
+                .register_logical("file-r".parse().unwrap(), 32 * MB)
+                .unwrap();
+            for host in ["alpha4", "lz02"] {
+                grid.place_replica("file-r", host).unwrap();
+            }
+            grid.warm_up(SimDuration::from_secs(120));
+            grid
+        };
+        let trace = RequestTrace::poisson(
+            &["gridhit1"],
+            &["file-r"],
+            1.0 / 100.0,
+            SimDuration::from_secs(800),
+            seed,
+        );
+        let cost = selection_quality(
+            &mut build(),
+            &trace,
+            SelectionPolicy::CostModel,
+            FetchOptions::default().with_parallelism(4),
+        );
+        let random = selection_quality(
+            &mut build(),
+            &trace,
+            SelectionPolicy::Random,
+            FetchOptions::default().with_parallelism(4),
+        );
+        assert!(
+            cost.mean_duration_s <= random.mean_duration_s * 1.05,
+            "seed {seed}: cost {:.1}s vs random {:.1}s",
+            cost.mean_duration_s,
+            random.mean_duration_s
+        );
+        assert!(cost.oracle_accuracy >= random.oracle_accuracy);
+    }
+}
