@@ -29,9 +29,7 @@ fn bench_solver(c: &mut Criterion) {
         .collect();
     let link_caps: Vec<f64> = {
         // capacity vector must be indexable by link id over ALL links
-        (0..topo.link_count())
-            .map(|_| 100.0)
-            .collect()
+        (0..topo.link_count()).map(|_| 100.0).collect()
     };
 
     c.bench_function("simnet/max_min_100_flows", |b| {

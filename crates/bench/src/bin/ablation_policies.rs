@@ -18,12 +18,7 @@ fn main() {
     let seed = seed_from_args();
     banner("Ablation: selection policies vs the oracle", seed);
 
-    let mut table = TextTable::new([
-        "policy",
-        "oracle accuracy",
-        "mean regret",
-        "mean fetch (s)",
-    ]);
+    let mut table = TextTable::new(["policy", "oracle accuracy", "mean regret", "mean fetch (s)"]);
 
     for policy in SelectionPolicy::all() {
         let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(300));

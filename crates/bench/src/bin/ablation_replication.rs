@@ -17,12 +17,21 @@ use datagrid_testbed::workload::RequestTrace;
 
 fn main() {
     let seed = seed_from_args();
-    banner("Ablation: dynamic replication strategies over a Zipf workload", seed);
+    banner(
+        "Ablation: dynamic replication strategies over a Zipf workload",
+        seed,
+    );
 
     let strategies: [(&str, ReplicationStrategy); 3] = [
         ("never (paper: selection only)", ReplicationStrategy::Never),
-        ("fetch-count >= 2", ReplicationStrategy::FetchCount { threshold: 2 }),
-        ("slow-fetch > 30 s", ReplicationStrategy::SlowFetch { threshold_s: 30.0 }),
+        (
+            "fetch-count >= 2",
+            ReplicationStrategy::FetchCount { threshold: 2 },
+        ),
+        (
+            "slow-fetch > 30 s",
+            ReplicationStrategy::SlowFetch { threshold_s: 30.0 },
+        ),
     ];
 
     let files: Vec<String> = (0..4).map(|i| format!("dataset/file-{i}")).collect();
@@ -62,7 +71,11 @@ fn main() {
             grid.advance_to(at);
             let client = grid.host_id(&req.client).expect("testbed host");
             let report = grid
-                .fetch_with(client, &req.lfn, FetchOptions::default().with_parallelism(4))
+                .fetch_with(
+                    client,
+                    &req.lfn,
+                    FetchOptions::default().with_parallelism(4),
+                )
                 .expect("fetch succeeds");
             durations.push(report.transfer.duration().as_secs_f64());
             if report.local_hit {

@@ -55,8 +55,11 @@ fn synthetic_grid(sites: usize, seed: u64) -> datagrid_core::grid::DataGrid {
         let capacity = Bandwidth::from_mbps(rng.uniform(10.0, 600.0));
         let latency = SimDuration::from_secs_f64(rng.uniform(0.002, 0.030));
         let loss = rng.uniform(0.0, 0.01);
-        b.topology_mut()
-            .add_duplex_link(node, hub, LinkSpec::new(capacity, latency).with_loss(loss));
+        b.topology_mut().add_duplex_link(
+            node,
+            hub,
+            LinkSpec::new(capacity, latency).with_loss(loss),
+        );
         b.monitor_path(node, client);
         replica_hosts.push(name);
     }
@@ -71,7 +74,8 @@ fn synthetic_grid(sites: usize, seed: u64) -> datagrid_core::grid::DataGrid {
         .register_logical("file-s".parse().expect("valid lfn"), 128 * MB)
         .expect("fresh catalog");
     for name in &replica_hosts {
-        grid.place_replica("file-s", name).expect("replica placement");
+        grid.place_replica("file-s", name)
+            .expect("replica placement");
     }
     grid.warm_up(SimDuration::from_secs(300));
     grid
@@ -79,7 +83,10 @@ fn synthetic_grid(sites: usize, seed: u64) -> datagrid_core::grid::DataGrid {
 
 fn main() {
     let seed = seed_from_args();
-    banner("Ablation: scaling to larger dynamic grids (future work #3)", seed);
+    banner(
+        "Ablation: scaling to larger dynamic grids (future work #3)",
+        seed,
+    );
 
     let mut table = TextTable::new([
         "replica sites",

@@ -16,19 +16,34 @@ use datagrid_testbed::sites::canonical_host;
 
 fn main() {
     let seed = seed_from_args();
-    banner("Ablation: transport security levels (FTP / GridFTP PROT C,S,P)", seed);
+    banner(
+        "Ablation: transport security levels (FTP / GridFTP PROT C,S,P)",
+        seed,
+    );
 
-    let mut table = TextTable::new([
-        "configuration",
-        "from gridhit0 (s)",
-        "from alpha4 (s)",
-    ]);
+    let mut table = TextTable::new(["configuration", "from gridhit0 (s)", "from alpha4 (s)"]);
 
     let cases: [(&str, Protocol, DataChannelProtection); 4] = [
-        ("FTP (no security)", Protocol::Ftp, DataChannelProtection::Clear),
-        ("GridFTP PROT C (clear)", Protocol::GridFtp, DataChannelProtection::Clear),
-        ("GridFTP PROT S (integrity)", Protocol::GridFtp, DataChannelProtection::Safe),
-        ("GridFTP PROT P (privacy)", Protocol::GridFtp, DataChannelProtection::Private),
+        (
+            "FTP (no security)",
+            Protocol::Ftp,
+            DataChannelProtection::Clear,
+        ),
+        (
+            "GridFTP PROT C (clear)",
+            Protocol::GridFtp,
+            DataChannelProtection::Clear,
+        ),
+        (
+            "GridFTP PROT S (integrity)",
+            Protocol::GridFtp,
+            DataChannelProtection::Safe,
+        ),
+        (
+            "GridFTP PROT P (privacy)",
+            Protocol::GridFtp,
+            DataChannelProtection::Private,
+        ),
     ];
 
     for (label, protocol, protection) in cases {

@@ -15,7 +15,10 @@ use datagrid_testbed::experiment::TextTable;
 
 fn main() {
     let seed = seed_from_args();
-    banner("Ablation: striped transfers from HIT stripe servers (future work #1)", seed);
+    banner(
+        "Ablation: striped transfers from HIT stripe servers (future work #1)",
+        seed,
+    );
 
     let mut table = TextTable::new([
         "stripe servers",

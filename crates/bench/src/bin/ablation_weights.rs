@@ -9,9 +9,9 @@
 
 use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
 use datagrid_core::cost::{CostModel, Weights};
-use datagrid_core::tuning::{Observation, WeightTuner};
 use datagrid_core::grid::FetchOptions;
 use datagrid_core::policy::SelectionPolicy;
+use datagrid_core::tuning::{Observation, WeightTuner};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::{selection_quality, TextTable};
 use datagrid_testbed::sites::canonical_host;
@@ -63,7 +63,10 @@ fn main() {
             FetchOptions::default().with_parallelism(4),
         );
         table.row([
-            format!("{:.2}/{:.2}/{:.2}", weights.bandwidth, weights.cpu, weights.io),
+            format!(
+                "{:.2}/{:.2}/{:.2}",
+                weights.bandwidth, weights.cpu, weights.io
+            ),
             format!("{:.2}", stats.oracle_accuracy),
             format!("{:.2}", stats.mean_regret),
             format!("{:.1}", stats.mean_duration_s),

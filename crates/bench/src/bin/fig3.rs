@@ -6,7 +6,9 @@
 //! protocols track each other, GridFTP paying a small constant GSI
 //! authentication overhead that vanishes in relative terms as files grow.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB, PAPER_SIZES_MB};
+use datagrid_bench::{
+    banner, emit_observability, seed_from_args, warmed_paper_grid, MB, PAPER_SIZES_MB,
+};
 use datagrid_gridftp::transfer::{Protocol, TransferRequest};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
@@ -24,18 +26,22 @@ fn main() {
         "overhead (%)",
     ]);
 
+    let mut last_grid = None;
     for size_mb in PAPER_SIZES_MB {
-        let run = |protocol: Protocol| {
+        let mut run = |protocol: Protocol| {
             // A fresh grid per cell keeps cells independent and identically
             // distributed (same seed, same background traffic sample).
             let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
             let src = grid.host_id(canonical_host("alpha01")).expect("alpha01");
             let dst = grid.host_id(canonical_host("gridhit3")).expect("gridhit3");
             let req = TransferRequest::new(size_mb * MB).with_protocol(protocol);
-            grid.transfer_between(src, dst, req)
+            let secs = grid
+                .transfer_between(src, dst, req)
                 .expect("transfer runs")
                 .duration()
-                .as_secs_f64()
+                .as_secs_f64();
+            last_grid = Some(grid);
+            secs
         };
         let ftp = run(Protocol::Ftp);
         let gftp = run(Protocol::GridFtp);
@@ -55,4 +61,7 @@ fn main() {
          constant authentication overhead (\"even [when] file size is 2 gigabytes, the data \
          transfer time is similar\")."
     );
+    if let Some(grid) = &last_grid {
+        emit_observability(grid, "fig3");
+    }
 }

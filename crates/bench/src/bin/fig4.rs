@@ -7,7 +7,9 @@
 //! so for large files, with diminishing returns at high stream counts; one
 //! MODE E stream is *not* identical to stream mode (block framing).
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB, PAPER_SIZES_MB};
+use datagrid_bench::{
+    banner, emit_observability, seed_from_args, warmed_paper_grid, MB, PAPER_SIZES_MB,
+};
 use datagrid_gridftp::transfer::TransferRequest;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
@@ -32,8 +34,9 @@ fn main() {
         "16 streams (s)",
     ]);
 
+    let mut last_grid = None;
     for size_mb in PAPER_SIZES_MB {
-        let run = |parallelism: Option<u32>| {
+        let mut run = |parallelism: Option<u32>| {
             let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
             let src = grid.host_id(canonical_host("alpha02")).expect("alpha02");
             let dst = grid.host_id(canonical_host("lz04")).expect("lz04");
@@ -41,10 +44,13 @@ fn main() {
             if let Some(p) = parallelism {
                 req = req.with_parallelism(p);
             }
-            grid.transfer_between(src, dst, req)
+            let secs = grid
+                .transfer_between(src, dst, req)
                 .expect("transfer runs")
                 .duration()
-                .as_secs_f64()
+                .as_secs_f64();
+            last_grid = Some(grid);
+            secs
         };
         let mut cells = vec![format!("{size_mb}"), format!("{:.1}", run(None))];
         for p in STREAMS {
@@ -60,4 +66,7 @@ fn main() {
          larger file sizes\" -- multiple TCP streams aggregate bandwidth on the lossy WAN \
          path, with diminishing returns once the 30 Mbps link saturates."
     );
+    if let Some(grid) = &last_grid {
+        emit_observability(grid, "fig4");
+    }
 }

@@ -13,7 +13,10 @@ use datagrid_testbed::sites::canonical_host;
 
 fn main() {
     let seed = seed_from_args();
-    banner("Fig. 5: cost model program (scores of replica sites toward alpha1)", seed);
+    banner(
+        "Fig. 5: cost model program (scores of replica sites toward alpha1)",
+        seed,
+    );
 
     let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(300));
     grid.catalog_mut()

@@ -10,7 +10,7 @@
 //! counterfactual replay on cloned grids). Expected shape: score order ==
 //! speed order, alpha4 best, lz02 worst.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, warmed_paper_grid, MB};
 use datagrid_core::grid::FetchOptions;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
@@ -76,10 +76,7 @@ fn main() {
     by_score.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let mut by_time = rows.clone();
     by_time.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
-    let agree = by_score
-        .iter()
-        .zip(&by_time)
-        .all(|(s, t)| s.0 == t.0);
+    let agree = by_score.iter().zip(&by_time).all(|(s, t)| s.0 == t.0);
     println!(
         "score order:        {}",
         by_score
@@ -111,4 +108,22 @@ fn main() {
         report.transfer.duration().as_secs_f64(),
         report.decision_latency.as_millis_f64(),
     );
+
+    // Feed the counterfactual measurements back into the decision's audit
+    // entry so its rank/measured-time agreement covers all candidates.
+    if let Some(decision) = grid.recorder_mut().audit_mut().last_mut() {
+        for (host, _score, secs) in &rows {
+            decision.attach_measured(host, *secs);
+        }
+    }
+    if let Some(decision) = grid.audit().last() {
+        println!("\nselection audit:\n{}", decision.render_text());
+        if let Some(agreement) = decision.rank_agreement() {
+            println!(
+                "rank vs measured-time agreement: {:.0}% of candidate pairs ordered consistently.",
+                agreement * 100.0
+            );
+        }
+    }
+    emit_observability(&grid, "table1");
 }

@@ -62,6 +62,30 @@ pub fn warmed_paper_grid(seed: u64, warm: SimDuration) -> DataGrid {
     grid
 }
 
+/// Name of the environment variable that switches the reproducer binaries
+/// into observability-dump mode.
+pub const OBS_DIR_ENV: &str = "DATAGRID_OBS_DIR";
+
+/// Writes the grid's full observability dump (metrics text + JSON, event
+/// JSONL, selection audit) under `$DATAGRID_OBS_DIR` as `<label>.*` files.
+/// A no-op when the variable is unset or empty, so the reproducers stay
+/// dependency-free by default.
+pub fn emit_observability(grid: &DataGrid, label: &str) {
+    let Ok(dir) = std::env::var(OBS_DIR_ENV) else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    match datagrid_testbed::experiment::write_obs_dump(grid, std::path::Path::new(&dir), label) {
+        Ok(paths) => println!(
+            "\nobservability: wrote {} dump files under {dir}/{label}.*",
+            paths.len()
+        ),
+        Err(err) => eprintln!("observability: dump to {dir} failed: {err}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

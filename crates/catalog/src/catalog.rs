@@ -1,5 +1,6 @@
 //! The replica catalog: logical files, their replicas, and collections.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::attributes::{AttributeKey, AttributeSet};
@@ -42,6 +43,67 @@ impl FileRecord {
 pub struct ReplicaCatalog {
     files: BTreeMap<LogicalFileName, FileRecord>,
     collections: BTreeMap<LogicalFileName, LogicalCollection>,
+    stats: CatalogStats,
+}
+
+/// Lifetime access counters of one catalog, for the observability layer's
+/// `catalog.*` metrics.
+///
+/// Read paths take `&self`, so the counters live in [`Cell`]s; cloning a
+/// catalog clones the counts, so a counterfactual grid keeps counting
+/// independently.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogStats {
+    lookups: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    lists: Cell<u64>,
+    mutations: Cell<u64>,
+}
+
+impl CatalogStats {
+    /// Replica/record lookups served (`lookup` + `replicas` calls).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Lookups that found the logical file.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups for unregistered logical files.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Prefix/attribute list scans served.
+    pub fn lists(&self) -> u64 {
+        self.lists.get()
+    }
+
+    /// Successful write operations (registrations, replica changes,
+    /// collection changes).
+    pub fn mutations(&self) -> u64 {
+        self.mutations.get()
+    }
+
+    fn count_lookup(&self, hit: bool) {
+        self.lookups.set(self.lookups.get() + 1);
+        if hit {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            self.misses.set(self.misses.get() + 1);
+        }
+    }
+
+    fn count_list(&self) {
+        self.lists.set(self.lists.get() + 1);
+    }
+
+    fn count_mutation(&self) {
+        self.mutations.set(self.mutations.get() + 1);
+    }
 }
 
 impl ReplicaCatalog {
@@ -70,6 +132,7 @@ impl ReplicaCatalog {
             entry,
             locations: Vec::new(),
         });
+        self.stats.count_mutation();
         Ok(rec.entry())
     }
 
@@ -94,6 +157,7 @@ impl ReplicaCatalog {
             entry,
             locations: Vec::new(),
         });
+        self.stats.count_mutation();
         Ok(rec.entry())
     }
 
@@ -108,10 +172,14 @@ impl ReplicaCatalog {
         key: AttributeKey,
         value: impl Into<String>,
     ) -> Result<(), CatalogError> {
-        let rec = self.files.get_mut(name).ok_or_else(|| CatalogError::UnknownFile {
-            name: name.to_string(),
-        })?;
+        let rec = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| CatalogError::UnknownFile {
+                name: name.to_string(),
+            })?;
         rec.entry.attributes_mut().set(key, value);
+        self.stats.count_mutation();
         Ok(())
     }
 
@@ -119,6 +187,7 @@ impl ReplicaCatalog {
     /// logical files whose attributes match every `(key, value)` pair of
     /// the query, in name order. An empty query lists everything.
     pub fn find_by_attributes(&self, query: &[(&str, &str)]) -> Vec<&LogicalFileEntry> {
+        self.stats.count_list();
         self.files
             .values()
             .filter(|r| r.entry.attributes().matches(query))
@@ -131,13 +200,20 @@ impl ReplicaCatalog {
     /// # Errors
     ///
     /// [`CatalogError::UnknownFile`] if the name is not registered.
-    pub fn unregister_logical(&mut self, name: &LogicalFileName) -> Result<FileRecord, CatalogError> {
-        let rec = self.files.remove(name).ok_or_else(|| CatalogError::UnknownFile {
-            name: name.to_string(),
-        })?;
+    pub fn unregister_logical(
+        &mut self,
+        name: &LogicalFileName,
+    ) -> Result<FileRecord, CatalogError> {
+        let rec = self
+            .files
+            .remove(name)
+            .ok_or_else(|| CatalogError::UnknownFile {
+                name: name.to_string(),
+            })?;
         for coll in self.collections.values_mut() {
             coll.remove(name);
         }
+        self.stats.count_mutation();
         Ok(rec)
     }
 
@@ -152,9 +228,12 @@ impl ReplicaCatalog {
         name: &LogicalFileName,
         location: PhysicalFileName,
     ) -> Result<(), CatalogError> {
-        let rec = self.files.get_mut(name).ok_or_else(|| CatalogError::UnknownFile {
-            name: name.to_string(),
-        })?;
+        let rec = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| CatalogError::UnknownFile {
+                name: name.to_string(),
+            })?;
         if rec.locations.contains(&location) {
             return Err(CatalogError::DuplicateReplica {
                 name: name.to_string(),
@@ -162,6 +241,7 @@ impl ReplicaCatalog {
             });
         }
         rec.locations.push(location);
+        self.stats.count_mutation();
         Ok(())
     }
 
@@ -178,9 +258,12 @@ impl ReplicaCatalog {
         name: &LogicalFileName,
         location: &PhysicalFileName,
     ) -> Result<(), CatalogError> {
-        let rec = self.files.get_mut(name).ok_or_else(|| CatalogError::UnknownFile {
-            name: name.to_string(),
-        })?;
+        let rec = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| CatalogError::UnknownFile {
+                name: name.to_string(),
+            })?;
         let idx = rec
             .locations
             .iter()
@@ -195,12 +278,15 @@ impl ReplicaCatalog {
             });
         }
         rec.locations.remove(idx);
+        self.stats.count_mutation();
         Ok(())
     }
 
     /// Looks up a logical file's record.
     pub fn lookup(&self, name: &LogicalFileName) -> Option<&FileRecord> {
-        self.files.get(name)
+        let rec = self.files.get(name);
+        self.stats.count_lookup(rec.is_some());
+        rec
     }
 
     /// The replica locations of a logical file.
@@ -209,9 +295,9 @@ impl ReplicaCatalog {
     ///
     /// [`CatalogError::UnknownFile`] if the file is not registered.
     pub fn replicas(&self, name: &LogicalFileName) -> Result<&[PhysicalFileName], CatalogError> {
-        self.files
-            .get(name)
-            .map(|r| r.locations.as_slice())
+        let rec = self.files.get(name);
+        self.stats.count_lookup(rec.is_some());
+        rec.map(|r| r.locations.as_slice())
             .ok_or_else(|| CatalogError::UnknownFile {
                 name: name.to_string(),
             })
@@ -220,6 +306,7 @@ impl ReplicaCatalog {
     /// Lists registered logical files whose names start with `prefix`
     /// (empty prefix lists everything), in name order.
     pub fn list(&self, prefix: &str) -> Vec<&LogicalFileEntry> {
+        self.stats.count_list();
         self.files
             .values()
             .filter(|r| r.entry.name().has_prefix(prefix))
@@ -230,6 +317,11 @@ impl ReplicaCatalog {
     /// Number of registered logical files.
     pub fn file_count(&self) -> usize {
         self.files.len()
+    }
+
+    /// Lifetime access counters (lookups, hits, misses, scans, writes).
+    pub fn stats(&self) -> &CatalogStats {
+        &self.stats
     }
 
     /// Creates an empty collection.
@@ -245,6 +337,7 @@ impl ReplicaCatalog {
         }
         self.collections
             .insert(name.clone(), LogicalCollection::new(name));
+        self.stats.count_mutation();
         Ok(())
     }
 
@@ -263,13 +356,13 @@ impl ReplicaCatalog {
                 name: member.to_string(),
             });
         }
-        let coll =
-            self.collections
-                .get_mut(collection)
-                .ok_or_else(|| CatalogError::UnknownCollection {
-                    name: collection.to_string(),
-                })?;
+        let coll = self.collections.get_mut(collection).ok_or_else(|| {
+            CatalogError::UnknownCollection {
+                name: collection.to_string(),
+            }
+        })?;
         coll.insert(member.clone());
+        self.stats.count_mutation();
         Ok(())
     }
 
@@ -298,6 +391,30 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_reads_and_writes() {
+        let mut c = catalog_with_file();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://hit0/data/file-a"))
+            .unwrap();
+        assert_eq!(c.stats().mutations(), 2);
+        let _ = c.lookup(&lfn("file-a"));
+        let _ = c.replicas(&lfn("file-a"));
+        let _ = c.lookup(&lfn("nope"));
+        let _ = c.list("file");
+        assert_eq!(c.stats().lookups(), 3);
+        assert_eq!(c.stats().hits(), 2);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().lists(), 1);
+        // Failed writes are not mutations.
+        assert!(c.register_logical(lfn("file-a"), 1).is_err());
+        assert_eq!(c.stats().mutations(), 2);
+        // Clones keep counting independently.
+        let clone = c.clone();
+        let _ = clone.lookup(&lfn("file-a"));
+        assert_eq!(clone.stats().lookups(), 4);
+        assert_eq!(c.stats().lookups(), 3);
+    }
+
+    #[test]
     fn register_and_lookup() {
         let c = catalog_with_file();
         let rec = c.lookup(&lfn("file-a")).unwrap();
@@ -316,8 +433,10 @@ mod tests {
     #[test]
     fn add_and_list_replicas() {
         let mut c = catalog_with_file();
-        c.add_replica(&lfn("file-a"), pfn("gsiftp://alpha4/d/f")).unwrap();
-        c.add_replica(&lfn("file-a"), pfn("gsiftp://hit0/d/f")).unwrap();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://alpha4/d/f"))
+            .unwrap();
+        c.add_replica(&lfn("file-a"), pfn("gsiftp://hit0/d/f"))
+            .unwrap();
         let locs = c.replicas(&lfn("file-a")).unwrap();
         assert_eq!(locs.len(), 2);
         assert_eq!(locs[0].host(), "alpha4");
@@ -345,7 +464,8 @@ mod tests {
         let mut c = catalog_with_file();
         c.add_replica(&lfn("file-a"), pfn("gsiftp://a/f")).unwrap();
         c.add_replica(&lfn("file-a"), pfn("gsiftp://b/f")).unwrap();
-        c.remove_replica(&lfn("file-a"), &pfn("gsiftp://a/f")).unwrap();
+        c.remove_replica(&lfn("file-a"), &pfn("gsiftp://a/f"))
+            .unwrap();
         let err = c
             .remove_replica(&lfn("file-a"), &pfn("gsiftp://b/f"))
             .unwrap_err();
@@ -393,7 +513,8 @@ mod tests {
             CatalogError::DuplicateCollection { .. }
         ));
         assert!(matches!(
-            c.add_to_collection(&lfn("nope"), &lfn("file-a")).unwrap_err(),
+            c.add_to_collection(&lfn("nope"), &lfn("file-a"))
+                .unwrap_err(),
             CatalogError::UnknownCollection { .. }
         ));
         assert!(matches!(

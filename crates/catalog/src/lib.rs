@@ -38,7 +38,7 @@ pub use name::{LogicalFileName, PhysicalFileName};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::attributes::{AttributeKey, AttributeSet};
-    pub use crate::catalog::{FileRecord, ReplicaCatalog};
+    pub use crate::catalog::{CatalogStats, FileRecord, ReplicaCatalog};
     pub use crate::collection::LogicalCollection;
     pub use crate::entry::LogicalFileEntry;
     pub use crate::error::CatalogError;

@@ -271,7 +271,9 @@ mod tests {
 
     fn manager() -> ReplicaManager {
         let mut m = ReplicaManager::new();
-        m.catalog_mut().register_logical(lfn("file-a"), 1000).unwrap();
+        m.catalog_mut()
+            .register_logical(lfn("file-a"), 1000)
+            .unwrap();
         m.catalog_mut()
             .add_replica(&lfn("file-a"), pfn("gsiftp://alpha4/d/f"))
             .unwrap();
@@ -378,9 +380,7 @@ mod tests {
 
     #[test]
     fn manager_error_sources_chain() {
-        let e = ManagerError::Transport(TransportError {
-            reason: "x".into(),
-        });
+        let e = ManagerError::Transport(TransportError { reason: "x".into() });
         assert!(std::error::Error::source(&e).is_some());
     }
 }

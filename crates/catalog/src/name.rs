@@ -144,7 +144,9 @@ impl FromStr for PhysicalFileName {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let rest = s
             .strip_prefix("gsiftp://")
-            .ok_or_else(|| CatalogError::InvalidName { name: s.to_string() })?;
+            .ok_or_else(|| CatalogError::InvalidName {
+                name: s.to_string(),
+            })?;
         let slash = rest.find('/').ok_or_else(|| CatalogError::InvalidName {
             name: s.to_string(),
         })?;

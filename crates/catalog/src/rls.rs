@@ -126,8 +126,7 @@ impl ReplicaLocationIndex {
     /// advertises are dropped for that LRC immediately (a full summary is
     /// authoritative for its sender).
     pub fn absorb_summary(&mut self, lrc: LrcId, source: &LocalReplicaCatalog, now_secs: u64) {
-        let advertised: BTreeSet<LogicalFileName> =
-            source.logical_names().into_iter().collect();
+        let advertised: BTreeSet<LogicalFileName> = source.logical_names().into_iter().collect();
         // Drop entries from this LRC that are no longer advertised.
         for (name, holders) in &mut self.entries {
             if !advertised.contains(name) {
@@ -225,7 +224,9 @@ mod tests {
         rli.absorb_summary(LrcId(0), &thu, 0);
         assert_eq!(rli.lookup(&lfn("file-b"), 1), vec![LrcId(0)]);
         // thu unregisters file-b; the next summary retracts it immediately.
-        thu.catalog_mut().unregister_logical(&lfn("file-b")).unwrap();
+        thu.catalog_mut()
+            .unregister_logical(&lfn("file-b"))
+            .unwrap();
         rli.absorb_summary(LrcId(0), &thu, 10);
         assert!(rli.lookup(&lfn("file-b"), 11).is_empty());
         assert_eq!(rli.lookup(&lfn("file-a"), 11), vec![LrcId(0)]);

@@ -77,10 +77,7 @@ impl Weights {
             );
         }
         let sum = self.bandwidth + self.cpu + self.io;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "weights must sum to 1, got {sum}"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "weights must sum to 1, got {sum}");
     }
 }
 

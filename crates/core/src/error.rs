@@ -80,15 +80,9 @@ mod tests {
         };
         assert!(e.to_string().contains("mars"));
         assert!(e.source().is_none());
-        let e: GridError = CatalogError::UnknownFile {
-            name: "f".into(),
-        }
-        .into();
+        let e: GridError = CatalogError::UnknownFile { name: "f".into() }.into();
         assert!(e.source().is_some());
-        let e: GridError = TransferError::InvalidRequest {
-            reason: "x".into(),
-        }
-        .into();
+        let e: GridError = TransferError::InvalidRequest { reason: "x".into() }.into();
         assert!(e.to_string().starts_with("transfer:"));
     }
 

@@ -112,7 +112,11 @@ mod tests {
 
     #[test]
     fn ranking_descending_with_stable_ties() {
-        let mut v = vec![candidate("b", 0.5), candidate("a", 0.9), candidate("c", 0.5)];
+        let mut v = vec![
+            candidate("b", 0.5),
+            candidate("a", 0.9),
+            candidate("c", 0.5),
+        ];
         rank_by_score(&mut v);
         let names: Vec<&str> = v.iter().map(|c| c.host_name.as_str()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);

@@ -20,11 +20,13 @@ use std::collections::HashMap;
 
 use datagrid_catalog::catalog::ReplicaCatalog;
 use datagrid_catalog::name::{LogicalFileName, PhysicalFileName};
-use datagrid_gridftp::executor::{
-    ProtocolCosts, SessionStatus, TransferEndpoint, TransferSession,
-};
+use datagrid_gridftp::executor::{ProtocolCosts, SessionStatus, TransferEndpoint, TransferSession};
+use datagrid_gridftp::instrument::{protocol_label, span_from_outcome};
 use datagrid_gridftp::transfer::{
     DataChannelProtection, PhaseRecord, Protocol, TransferOutcome, TransferRequest,
+};
+use datagrid_obs::{
+    CandidateAudit, Event, MetricsRegistry, Recorder, SelectionAuditLog, SelectionDecision,
 };
 use datagrid_simnet::background::BackgroundProfile;
 use datagrid_simnet::engine::{EventKind, FlowId, FlowSpec, FlowTag, NetSim, SimEvent};
@@ -43,6 +45,19 @@ use crate::cost::{CostModel, Weights};
 use crate::error::GridError;
 use crate::factors::{rank_by_score, CandidateScore, SystemFactors};
 use crate::policy::{ReplicaSelector, SelectionPolicy};
+
+/// Histogram bounds (seconds) for whole transfers — the paper's measured
+/// times span roughly a second to a few hundred seconds.
+const TRANSFER_BOUNDS_SECS: &[f64] = datagrid_obs::metrics::LATENCY_BOUNDS_SECS;
+/// Histogram bounds (seconds) for sub-transfer phases (auth, handshake,
+/// ramp-up, data, teardown) — much finer than whole transfers.
+const PHASE_BOUNDS_SECS: &[f64] = &[0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+/// Histogram bounds for cost-model scores, which live in `[0, 1]`.
+const SCORE_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+/// Histogram bounds for parallel stream counts (the Fig. 4 sweep range).
+const STREAM_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Histogram bounds (seconds) for catalog + selection decision latency.
+const DECISION_BOUNDS_SECS: &[f64] = &[0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
 
 const TOK_MONITOR: u64 = 0;
 const TOK_SENTINEL: u64 = 1;
@@ -142,6 +157,8 @@ pub struct GridBuilder {
     catalog_host: Option<String>,
     control_cache_ttl: SimDuration,
     watched_links: Vec<LinkId>,
+    recording: bool,
+    event_capacity: usize,
 }
 
 impl GridBuilder {
@@ -163,6 +180,8 @@ impl GridBuilder {
             catalog_host: None,
             control_cache_ttl: SimDuration::from_secs(600),
             watched_links: Vec::new(),
+            recording: true,
+            event_capacity: Recorder::DEFAULT_EVENT_CAPACITY,
         }
     }
 
@@ -201,7 +220,8 @@ impl GridBuilder {
         for i in 0..self.hosts.len() {
             for j in 0..self.hosts.len() {
                 if i != j {
-                    self.monitored.push((self.hosts[i].node, self.hosts[j].node));
+                    self.monitored
+                        .push((self.hosts[i].node, self.hosts[j].node));
                 }
             }
         }
@@ -267,6 +287,21 @@ impl GridBuilder {
     /// (default 600 s; zero disables caching).
     pub fn control_cache_ttl(&mut self, ttl: SimDuration) -> &mut Self {
         self.control_cache_ttl = ttl;
+        self
+    }
+
+    /// Enables or disables observability recording (events and selection
+    /// audit). Recording is on by default; metrics are always collected.
+    pub fn recording(&mut self, enabled: bool) -> &mut Self {
+        self.recording = enabled;
+        self
+    }
+
+    /// Capacity of the in-memory event ring buffer (default
+    /// [`Recorder::DEFAULT_EVENT_CAPACITY`]). Oldest events are evicted
+    /// once it fills; the drop count is tracked.
+    pub fn event_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.event_capacity = capacity;
         self
     }
 
@@ -379,6 +414,13 @@ impl GridBuilder {
             control_cache_ttl: self.control_cache_ttl,
             control_cache: HashMap::new(),
             trace: NetworkTrace::watching(self.watched_links),
+            obs: {
+                let mut rec = Recorder::with_capacity(self.event_capacity);
+                rec.set_enabled(self.recording);
+                rec
+            },
+            next_span_id: 0,
+            pending_lfn: None,
         }
     }
 }
@@ -412,6 +454,10 @@ pub struct DataGrid {
     /// (control node, server node) -> cache expiry.
     control_cache: HashMap<(NodeId, NodeId), SimTime>,
     trace: NetworkTrace,
+    obs: Recorder,
+    next_span_id: u64,
+    /// Logical file served by the transfer in flight, for span labelling.
+    pending_lfn: Option<String>,
 }
 
 impl std::fmt::Debug for DataGrid {
@@ -495,6 +541,55 @@ impl DataGrid {
         &mut self.selector
     }
 
+    /// The observability recorder: structured event history, metrics
+    /// registry and the replica-selection audit log.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable recorder access — toggle recording, attach measured
+    /// counterfactual times to audit entries, or clear history.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    /// The replica-selection decision audit log (one entry per
+    /// [`DataGrid::fetch_with`] / [`DataGrid::fetch_from`] call while
+    /// recording is enabled).
+    pub fn audit(&self) -> &SelectionAuditLog {
+        self.obs.audit()
+    }
+
+    /// A point-in-time metrics snapshot: everything in the live registry
+    /// plus the counters maintained outside it by the network engine
+    /// (`simnet.*`) and the replica catalog (`catalog.*`).
+    ///
+    /// Render with [`MetricsRegistry::render_text`] or
+    /// [`MetricsRegistry::render_json`]; both are deterministic, so two
+    /// identically seeded runs export byte-identical snapshots.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut m = self.obs.metrics().clone();
+        let s = self.sim.stats();
+        m.set_counter("simnet.events_processed", s.events_processed);
+        m.set_counter("simnet.timers_fired", s.timers_fired);
+        m.set_counter("simnet.flows_started", s.flows_started);
+        m.set_counter("simnet.flows_completed", s.flows_completed);
+        m.set_counter(
+            "simnet.background_flows_started",
+            s.background_flows_started,
+        );
+        m.set_counter("simnet.bytes_completed", s.bytes_completed);
+        let c = self.catalog.stats();
+        m.set_counter("catalog.lookups", c.lookups());
+        m.set_counter("catalog.hits", c.hits());
+        m.set_counter("catalog.misses", c.misses());
+        m.set_counter("catalog.lists", c.lists());
+        m.set_counter("catalog.mutations", c.mutations());
+        m.set_counter("obs.events_dropped", self.obs.dropped_events());
+        m.set_counter("obs.decisions_dropped", self.obs.audit().dropped());
+        m
+    }
+
     /// Data discovery, the opening step of the paper's Fig. 1 scenario:
     /// the application "specifies the characteristics of the desired data"
     /// and the catalog returns matching logical file names.
@@ -513,11 +608,7 @@ impl DataGrid {
     /// # Errors
     ///
     /// [`GridError::UnknownHost`] or catalog errors.
-    pub fn place_replica(
-        &mut self,
-        lfn: &str,
-        host: &str,
-    ) -> Result<PhysicalFileName, GridError> {
+    pub fn place_replica(&mut self, lfn: &str, host: &str) -> Result<PhysicalFileName, GridError> {
         let name = LogicalFileName::new(lfn)?;
         if !self.host_by_name.contains_key(host) {
             return Err(GridError::UnknownHost {
@@ -630,6 +721,9 @@ impl DataGrid {
         let base = self.alloc_session_tokens();
         let cache_key = (self.node_of(dst), self.node_of(*first));
         let cached = sources.len() == 1 && self.control_cached(cache_key);
+        let protocol = protocol_label(req.protocol);
+        let src_name = self.hosts[first.index()].name().to_string();
+        let dst_name = self.hosts[dst.index()].name().to_string();
         let mut session =
             TransferSession::striped(req, endpoints, self.endpoint_for(dst), tcp, base)?
                 .with_costs(self.costs)
@@ -643,6 +737,7 @@ impl DataGrid {
             if session.owns(&ev) {
                 if let SessionStatus::Complete(outcome) = session.handle(&mut self.sim, &ev) {
                     self.remember_control(cache_key);
+                    self.record_transfer(&src_name, &dst_name, protocol, &outcome);
                     return Ok(outcome);
                 }
             } else {
@@ -699,6 +794,9 @@ impl DataGrid {
     ) -> Result<TransferOutcome, GridError> {
         let tcp = self.tcp_for(self.node_of(src), self.node_of(dst));
         let base = self.alloc_session_tokens();
+        let protocol = protocol_label(req.protocol);
+        let src_name = self.hosts[src.index()].name().to_string();
+        let dst_name = self.hosts[dst.index()].name().to_string();
         let mut session = TransferSession::new(
             req,
             self.endpoint_for(src),
@@ -717,6 +815,7 @@ impl DataGrid {
                 .expect("an active session keeps the queue non-empty");
             if session.owns(&ev) {
                 if let SessionStatus::Complete(outcome) = session.handle(&mut self.sim, &ev) {
+                    self.record_transfer(&src_name, &dst_name, protocol, &outcome);
                     return Ok(outcome);
                 }
             } else {
@@ -746,12 +845,11 @@ impl DataGrid {
         parallelism: u32,
     ) -> Result<TransferOutcome, GridError> {
         let name = LogicalFileName::new(lfn)?;
-        let record = self
-            .catalog
-            .lookup(&name)
-            .ok_or_else(|| GridError::Catalog(datagrid_catalog::CatalogError::UnknownFile {
+        let record = self.catalog.lookup(&name).ok_or_else(|| {
+            GridError::Catalog(datagrid_catalog::CatalogError::UnknownFile {
                 name: lfn.to_string(),
-            }))?;
+            })
+        })?;
         let src_pfn = record
             .locations()
             .first()
@@ -844,7 +942,9 @@ impl DataGrid {
         let candidates = self.score_candidates(client, lfn)?;
         let chosen = self.selector.choose(&candidates);
         let decision_latency = self.sim.now() - started;
+        self.record_selection(lfn, client, &candidates, chosen, decision_latency, false);
         let transfer = self.execute_choice(client, lfn, &candidates[chosen], options)?;
+        self.attach_measured(&candidates[chosen].host_name, &transfer);
         Ok(FetchReport {
             lfn: LogicalFileName::new(lfn)?,
             client: self.hosts[client.index()].name().to_string(),
@@ -883,7 +983,9 @@ impl DataGrid {
                 name: from_host.to_string(),
             })?;
         let decision_latency = self.sim.now() - started;
+        self.record_selection(lfn, client, &candidates, chosen, decision_latency, true);
         let transfer = self.execute_choice(client, lfn, &candidates[chosen], options)?;
+        self.attach_measured(&candidates[chosen].host_name, &transfer);
         Ok(FetchReport {
             lfn: LogicalFileName::new(lfn)?,
             client: self.hosts[client.index()].name().to_string(),
@@ -948,6 +1050,7 @@ impl DataGrid {
             .expect("scored candidates imply a registered file")
             .entry()
             .size_bytes();
+        self.pending_lfn = Some(lfn.to_string());
         if choice.is_local {
             return Ok(self.local_read(client, bytes));
         }
@@ -965,7 +1068,7 @@ impl DataGrid {
         let duration = rate.time_for_bytes(bytes);
         self.advance_to(start + duration);
         let end = self.sim.now();
-        TransferOutcome {
+        let outcome = TransferOutcome {
             payload_bytes: bytes,
             wire_bytes: 0,
             streams: 0,
@@ -977,7 +1080,10 @@ impl DataGrid {
                 start,
                 end,
             }],
-        }
+        };
+        let name = self.hosts[client.index()].name().to_string();
+        self.record_transfer(&name, &name, "local", &outcome);
+        outcome
     }
 
     /// Catalog and selection server query latency for a client: two round
@@ -1053,6 +1159,126 @@ impl DataGrid {
         base
     }
 
+    /// Records one replica-selection decision: the audit entry with every
+    /// candidate's factor breakdown, a `selection.decision` event, and the
+    /// selection metrics. `candidates` arrive ranked best-first from
+    /// [`rank_by_score`], so the slice index is the rank.
+    fn record_selection(
+        &mut self,
+        lfn: &str,
+        client: HostId,
+        candidates: &[CandidateScore],
+        chosen: usize,
+        decision_latency: SimDuration,
+        forced: bool,
+    ) {
+        let now = self.sim.now();
+        let picked = &candidates[chosen];
+        {
+            let m = self.obs.metrics_mut();
+            m.inc("selection.decisions");
+            if picked.is_local {
+                m.inc("selection.local_hits");
+            }
+            m.register_histogram("selection.score", SCORE_BOUNDS)
+                .observe(picked.score);
+            m.register_histogram("selection.decision_seconds", DECISION_BOUNDS_SECS)
+                .observe(decision_latency.as_secs_f64());
+        }
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let w = self.selector.cost_model().weights();
+        let client_name = self.hosts[client.index()].name().to_string();
+        let policy = if forced {
+            "forced".to_string()
+        } else {
+            self.selector.policy().name().to_string()
+        };
+        let winner = picked.host_name.clone();
+        self.obs.emit(
+            Event::new(now, "select", "selection.decision")
+                .with("lfn", lfn)
+                .with("client", client_name.as_str())
+                .with("policy", policy.as_str())
+                .with("winner", winner.as_str())
+                .with("score", picked.score)
+                .with("candidates", candidates.len()),
+        );
+        let audited = candidates
+            .iter()
+            .enumerate()
+            .map(|(rank, c)| CandidateAudit {
+                host: c.host_name.clone(),
+                bw_p: c.factors.bandwidth_fraction,
+                cpu_p: c.factors.cpu_idle,
+                io_p: c.factors.io_idle,
+                weighted_bw: w.bandwidth * c.factors.bandwidth_fraction,
+                weighted_cpu: w.cpu * c.factors.cpu_idle,
+                weighted_io: w.io * c.factors.io_idle,
+                score: c.score,
+                is_local: c.is_local,
+                rank,
+                measured_secs: None,
+            })
+            .collect();
+        self.obs.record_decision(SelectionDecision {
+            time: now,
+            lfn: lfn.to_string(),
+            client: client_name,
+            policy,
+            weights: (w.bandwidth, w.cpu, w.io),
+            candidates: audited,
+            winner,
+        });
+    }
+
+    /// Attaches the measured transfer time of `host` to the most recent
+    /// audit entry, feeding the rank-vs-measured-time agreement check.
+    fn attach_measured(&mut self, host: &str, outcome: &TransferOutcome) {
+        let secs = outcome.duration().as_secs_f64();
+        if let Some(decision) = self.obs.audit_mut().last_mut() {
+            decision.attach_measured(host, secs);
+        }
+    }
+
+    /// Records one finished transfer: span events, latency/byte/stream
+    /// metrics and per-phase timing histograms. `protocol` is a stable
+    /// label (`"gridftp"`, `"ftp"`, `"local"`).
+    fn record_transfer(
+        &mut self,
+        src: &str,
+        dst: &str,
+        protocol: &'static str,
+        outcome: &TransferOutcome,
+    ) {
+        let id = self.next_span_id;
+        self.next_span_id += 1;
+        let lfn = self.pending_lfn.take();
+        let span = span_from_outcome(id, src, dst, protocol, lfn.as_deref(), outcome);
+        let m = self.obs.metrics_mut();
+        m.inc("transfer.count");
+        m.inc(&format!("transfer.count.{protocol}"));
+        m.add("transfer.payload_bytes", outcome.payload_bytes);
+        m.add("transfer.wire_bytes", outcome.wire_bytes);
+        m.register_histogram("transfer.seconds", TRANSFER_BOUNDS_SECS)
+            .observe(outcome.duration().as_secs_f64());
+        m.register_histogram("transfer.streams", STREAM_BOUNDS)
+            .observe(f64::from(outcome.streams.max(1)));
+        for phase in &outcome.phases {
+            m.register_histogram(
+                &format!("transfer.phase_seconds.{}", phase.name),
+                PHASE_BOUNDS_SECS,
+            )
+            .observe((phase.end - phase.start).as_secs_f64());
+        }
+        if self.obs.is_enabled() {
+            for event in span.to_events() {
+                self.obs.emit(event);
+            }
+        }
+    }
+
     fn handle_internal(&mut self, ev: &SimEvent) {
         match &ev.kind {
             EventKind::TimerFired(TOK_MONITOR) => self.on_monitor_tick(),
@@ -1061,8 +1287,7 @@ impl DataGrid {
                 // a nested loop; nothing to do.
             }
             EventKind::TimerFired(tok)
-                if (TOK_PROBE_BASE..TOK_PROBE_BASE + self.monitored.len() as u64)
-                    .contains(tok) =>
+                if (TOK_PROBE_BASE..TOK_PROBE_BASE + self.monitored.len() as u64).contains(tok) =>
             {
                 self.launch_probe((tok - TOK_PROBE_BASE) as usize);
             }
@@ -1077,6 +1302,13 @@ impl DataGrid {
                 if let Some(sensor) = self.nws.sensor_mut(src, dst) {
                     sensor.record(ev.time, measured);
                 }
+                self.obs.metrics_mut().inc("nws.probes_completed");
+                self.obs.emit(
+                    Event::new(ev.time, "nws", "probe.complete")
+                        .with("src", src.index())
+                        .with("dst", dst.index())
+                        .with("mbps", measured.as_mbps()),
+                );
             }
         }
     }
@@ -1087,6 +1319,27 @@ impl DataGrid {
         for (i, host) in self.hosts.iter_mut().enumerate() {
             host.advance_to(now);
             self.mds.refresh(HostId(i as u32), host, now);
+        }
+        self.obs.metrics_mut().inc("monitor.ticks");
+        for i in 0..self.hosts.len() {
+            let (name, cpu, io) = {
+                let h = &self.hosts[i];
+                (h.name().to_string(), h.cpu_idle(), h.io_idle())
+            };
+            let m = self.obs.metrics_mut();
+            m.set_gauge(&format!("host.{name}.cpu_idle"), cpu);
+            m.set_gauge(&format!("host.{name}.io_idle"), io);
+        }
+        let watched: Vec<(LinkId, f64)> = self
+            .trace
+            .iter()
+            .filter_map(|(link, t)| t.samples().last().map(|s| (link, s.utilization)))
+            .collect();
+        for (link, utilization) in watched {
+            self.obs.metrics_mut().set_gauge(
+                &format!("net.link.{}.utilization", link.index()),
+                utilization,
+            );
         }
         // Stagger one probe per monitored path across the interval: NWS
         // serialises probes within a clique so measurements do not contend
@@ -1115,6 +1368,13 @@ impl DataGrid {
                 .with_tag(FlowTag::Probe),
         );
         self.pending_probes.insert(id, (src, dst));
+        self.obs.metrics_mut().inc("nws.probes_started");
+        self.obs.emit(
+            Event::new(self.sim.now(), "nws", "probe.start")
+                .with("src", src.index())
+                .with("dst", dst.index())
+                .with("bytes", self.probe_bytes),
+        );
     }
 }
 
@@ -1191,7 +1451,10 @@ mod tests {
         let fast = grid.host_id("fast").unwrap();
         // The fast path carries ~100 Mbps of the grid's 1 Gbps reference.
         let frac = grid.bandwidth_fraction(fast, client).expect("warm sensor");
-        assert!((0.05..0.2).contains(&frac), "BW_P ≈ 0.1 expected, got {frac}");
+        assert!(
+            (0.05..0.2).contains(&frac),
+            "BW_P ≈ 0.1 expected, got {frac}"
+        );
         let slow = grid.host_id("slow").unwrap();
         let slow_frac = grid.bandwidth_fraction(slow, client).expect("warm sensor");
         assert!(slow_frac < frac, "slow path must score below fast");
@@ -1336,10 +1599,7 @@ mod tests {
         grid.warm_up(SimDuration::from_secs(30));
         let outcome = grid.replicate("file-a", "client", 4).unwrap();
         assert_eq!(outcome.payload_bytes, 16 * MB);
-        let replicas = grid
-            .catalog()
-            .replicas(&"file-a".parse().unwrap())
-            .unwrap();
+        let replicas = grid.catalog().replicas(&"file-a".parse().unwrap()).unwrap();
         assert_eq!(replicas.len(), 3);
         assert!(replicas.iter().any(|p| p.host() == "client"));
     }
@@ -1434,6 +1694,81 @@ mod tests {
         assert!(s.contains("DataGrid"));
         assert!(s.contains("hosts"));
     }
+
+    #[test]
+    fn fetch_records_audit_metrics_and_span_events() {
+        let mut grid = with_file(small_grid(16));
+        grid.warm_up(SimDuration::from_secs(60));
+        let client = grid.host_id("client").unwrap();
+        let report = grid.fetch(client, "file-a").unwrap();
+
+        let audit = grid.audit();
+        assert_eq!(audit.len(), 1);
+        let decision = audit.last().unwrap();
+        assert_eq!(decision.lfn, "file-a");
+        assert_eq!(decision.client, "client");
+        assert_eq!(decision.winner, report.chosen_candidate().host_name);
+        assert_eq!(decision.candidates.len(), 2);
+        assert_eq!(decision.weights, (0.8, 0.1, 0.1));
+        // Ranked best-first; the winner carries its measured time.
+        assert_eq!(decision.hosts_by_rank()[0], decision.winner);
+        let winner = decision.winner_audit().unwrap();
+        assert!(winner.measured_secs.unwrap() > 0.0);
+        assert!(winner.bw_p > 0.0 && winner.cpu_p > 0.0 && winner.io_p > 0.0);
+        let recomputed = winner.weighted_bw + winner.weighted_cpu + winner.weighted_io;
+        assert!((recomputed - winner.score).abs() < 1e-9);
+
+        let metrics = grid.metrics_snapshot();
+        assert_eq!(metrics.counter("selection.decisions"), 1);
+        assert_eq!(metrics.counter("transfer.count"), 1);
+        assert_eq!(metrics.counter("transfer.count.gridftp"), 1);
+        assert_eq!(metrics.histogram("transfer.seconds").unwrap().count(), 1);
+        assert!(metrics.counter("monitor.ticks") >= 6);
+        assert!(metrics.counter("nws.probes_completed") > 0);
+        assert!(metrics.counter("catalog.lookups") > 0);
+        assert!(metrics.counter("simnet.flows_completed") > 0);
+        assert!(metrics.gauge("host.client.cpu_idle").is_some());
+
+        // The span closed with the served logical file attached.
+        let jsonl = grid.recorder().events_jsonl();
+        assert!(jsonl.contains("\"kind\":\"span.open\""));
+        assert!(jsonl.contains("\"lfn\":\"file-a\""));
+        assert!(jsonl.contains("\"kind\":\"span.close\""));
+        assert!(jsonl.contains("\"kind\":\"selection.decision\""));
+    }
+
+    #[test]
+    fn disabled_recording_keeps_metrics_but_no_events_or_audit() {
+        let mut grid = {
+            let mut b = GridBuilder::new(17);
+            let client = b.add_host(
+                HostSpec::new("client").with_cpu(2, 2.0),
+                LoadModel::Constant(0.1),
+                LoadModel::Constant(0.1),
+            );
+            let other = b.add_host(
+                HostSpec::new("other"),
+                LoadModel::Constant(0.1),
+                LoadModel::Constant(0.1),
+            );
+            b.topology_mut()
+                .add_duplex_link(client, other, LinkSpec::new(mbps(100.0), ms(1)));
+            b.recording(false);
+            b.build()
+        };
+        grid.catalog_mut()
+            .register_logical("f".parse().unwrap(), MB)
+            .unwrap();
+        grid.place_replica("f", "client").unwrap();
+        let client = grid.host_id("client").unwrap();
+        grid.fetch(client, "f").unwrap();
+        assert!(!grid.recorder().is_enabled());
+        assert_eq!(grid.recorder().events().len(), 0);
+        assert!(grid.audit().is_empty());
+        // Metrics still accrue: they are cheap and always truthful.
+        assert_eq!(grid.metrics_snapshot().counter("selection.decisions"), 1);
+        assert_eq!(grid.metrics_snapshot().counter("transfer.count.local"), 1);
+    }
 }
 
 #[cfg(test)]
@@ -1465,7 +1800,11 @@ mod trace_tests {
         grid.warm_up(SimDuration::from_secs(65));
         let trace = grid.network_trace().link(fwd).expect("watched");
         // Ticks at 1, 11, ..., 61 s -> 7 samples.
-        assert!(trace.samples().len() >= 6, "samples {}", trace.samples().len());
+        assert!(
+            trace.samples().len() >= 6,
+            "samples {}",
+            trace.samples().len()
+        );
         // Probes occasionally light the link up.
         assert!(trace.peak().unwrap() >= 0.0);
     }

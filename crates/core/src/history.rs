@@ -37,7 +37,7 @@ impl CostHistory {
     pub fn record(&mut self, site: &str, time: SimTime, score: f64) {
         self.series
             .entry(site.to_string())
-            .or_insert_with(TimeSeries::new)
+            .or_default()
             .push(time, score);
     }
 

@@ -164,8 +164,8 @@ impl DataGrid {
                 if dest_id == client {
                     None // results already local
                 } else {
-                    let req = TransferRequest::new(bytes)
-                        .with_parallelism(spec.options.parallelism);
+                    let req =
+                        TransferRequest::new(bytes).with_parallelism(spec.options.parallelism);
                     Some(self.transfer_between(client, dest_id, req)?)
                 }
             }

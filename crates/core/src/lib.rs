@@ -67,4 +67,8 @@ pub mod prelude {
     pub use crate::policy::{ReplicaSelector, SelectionPolicy};
     pub use crate::replication::{ReplicationAdvice, ReplicationManager, ReplicationStrategy};
     pub use crate::tuning::{Observation, WeightTuner};
+    pub use datagrid_obs::{
+        CandidateAudit, Event, EventBus, JsonlSink, MetricsRegistry, Recorder, SelectionAuditLog,
+        SelectionDecision, TextSink, TransferSpan,
+    };
 }

@@ -13,9 +13,10 @@ use crate::factors::CandidateScore;
 use datagrid_simnet::rng::SimRng;
 
 /// A replica selection policy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SelectionPolicy {
     /// The paper's weighted cost model: pick the highest score.
+    #[default]
     CostModel,
     /// Uniform random choice (monitoring-free baseline).
     Random,
@@ -25,12 +26,6 @@ pub enum SelectionPolicy {
     BandwidthOnly,
     /// Pick the most idle host (CPU + I/O), ignoring the network.
     LeastLoaded,
-}
-
-impl Default for SelectionPolicy {
-    fn default() -> Self {
-        SelectionPolicy::CostModel
-    }
 }
 
 impl SelectionPolicy {
@@ -129,7 +124,10 @@ impl ReplicaSelector {
     ///
     /// Panics if `candidates` is empty.
     pub fn choose(&mut self, candidates: &[CandidateScore]) -> usize {
-        assert!(!candidates.is_empty(), "cannot choose among zero candidates");
+        assert!(
+            !candidates.is_empty(),
+            "cannot choose among zero candidates"
+        );
         if let Some(local) = candidates.iter().position(|c| c.is_local) {
             return local;
         }
@@ -144,9 +142,7 @@ impl ReplicaSelector {
                 self.round_robin += 1;
                 pick
             }
-            SelectionPolicy::BandwidthOnly => {
-                argmax(candidates, |c| c.factors.bandwidth_fraction)
-            }
+            SelectionPolicy::BandwidthOnly => argmax(candidates, |c| c.factors.bandwidth_fraction),
             SelectionPolicy::LeastLoaded => {
                 argmax(candidates, |c| c.factors.cpu_idle + c.factors.io_idle)
             }
@@ -160,9 +156,7 @@ fn argmax(candidates: &[CandidateScore], key: impl Fn(&CandidateScore) -> f64) -
         let (ki, kb) = (key(&candidates[i]), key(&candidates[best]));
         // Ties break toward the lexicographically smaller host name so
         // selection is deterministic.
-        if ki > kb
-            || (ki == kb && candidates[i].host_name < candidates[best].host_name)
-        {
+        if ki > kb || (ki == kb && candidates[i].host_name < candidates[best].host_name) {
             best = i;
         }
     }
@@ -271,7 +265,13 @@ mod tests {
         let names: Vec<&str> = SelectionPolicy::all().iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["cost-model", "random", "round-robin", "bandwidth-only", "least-loaded"]
+            vec![
+                "cost-model",
+                "random",
+                "round-robin",
+                "bandwidth-only",
+                "least-loaded"
+            ]
         );
     }
 }

@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use crate::grid::FetchReport;
 
 /// When to recommend creating a replica at the requesting client's host.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ReplicationStrategy {
     /// Never replicate (selection only, as in the paper).
+    #[default]
     Never,
     /// Replicate once a host has fetched the same file remotely
     /// `threshold` times (classic count-based caching).
@@ -29,12 +30,6 @@ pub enum ReplicationStrategy {
         /// Transfer-duration trigger in seconds.
         threshold_s: f64,
     },
-}
-
-impl Default for ReplicationStrategy {
-    fn default() -> Self {
-        ReplicationStrategy::Never
-    }
 }
 
 /// A recommendation to create a replica.
@@ -183,8 +178,7 @@ mod tests {
 
     #[test]
     fn slow_fetch_triggers_on_duration() {
-        let mut mgr =
-            ReplicationManager::new(ReplicationStrategy::SlowFetch { threshold_s: 60.0 });
+        let mut mgr = ReplicationManager::new(ReplicationStrategy::SlowFetch { threshold_s: 60.0 });
         assert_eq!(mgr.observe(&report("alpha1", "f", 30.0, false)), None);
         assert!(mgr.observe(&report("alpha1", "f", 120.0, false)).is_some());
     }

@@ -531,9 +531,8 @@ impl TransferSession {
             for stream_payload in TransferMode::split_across_streams(stripe_payload, streams) {
                 let wire = mode.wire_bytes(stream_payload);
                 self.wire_bytes += wire;
-                let id = sim.start_flow(
-                    FlowSpec::new(source.node, self.dst.node, wire).with_cap(cap),
-                );
+                let id =
+                    sim.start_flow(FlowSpec::new(source.node, self.dst.node, wire).with_cap(cap));
                 self.active_flows.insert(
                     id,
                     StreamFlow {
@@ -624,7 +623,11 @@ mod tests {
         let router = t.add_node("router");
         let dst = t.add_node("dst");
         t.add_duplex_link(src, router, LinkSpec::new(Bandwidth::from_gbps(1.0), ms(1)));
-        t.add_duplex_link(router, dst, LinkSpec::new(mbps(bottleneck_mbps), ms(wan_ms)));
+        t.add_duplex_link(
+            router,
+            dst,
+            LinkSpec::new(mbps(bottleneck_mbps), ms(wan_ms)),
+        );
         let sim = NetSim::new(t, 5);
         (sim, src, dst)
     }
@@ -919,8 +922,16 @@ mod tests {
         let t256 = run(256);
         let t512 = run(512);
         let t1024 = run(1024);
-        assert!((t512 / t256 - 2.0).abs() < 0.2, "512/256 ratio {}", t512 / t256);
-        assert!((t1024 / t512 - 2.0).abs() < 0.1, "1024/512 ratio {}", t1024 / t512);
+        assert!(
+            (t512 / t256 - 2.0).abs() < 0.2,
+            "512/256 ratio {}",
+            t512 / t256
+        );
+        assert!(
+            (t1024 / t512 - 2.0).abs() < 0.1,
+            "1024/512 ratio {}",
+            t1024 / t512
+        );
     }
 
     #[test]
@@ -1139,9 +1150,20 @@ mod protection_exec_tests {
         let clear = run(DataChannelProtection::Clear, 1.0);
         let safe = run(DataChannelProtection::Safe, 1.0);
         let private = run(DataChannelProtection::Private, 1.0);
-        assert!(clear > safe && safe > private, "{clear} > {safe} > {private}");
-        assert!((clear / safe - 2.0).abs() < 0.3, "safe ratio {}", clear / safe);
-        assert!((clear / private - 10.0).abs() < 1.5, "ratio {}", clear / private);
+        assert!(
+            clear > safe && safe > private,
+            "{clear} > {safe} > {private}"
+        );
+        assert!(
+            (clear / safe - 2.0).abs() < 0.3,
+            "safe ratio {}",
+            clear / safe
+        );
+        assert!(
+            (clear / private - 10.0).abs() < 1.5,
+            "ratio {}",
+            clear / private
+        );
     }
 
     #[test]
@@ -1150,7 +1172,10 @@ mod protection_exec_tests {
         // (index 64: even 3DES runs at 4.8 Gbps).
         let clear = run(DataChannelProtection::Clear, 64.0);
         let private = run(DataChannelProtection::Private, 64.0);
-        assert!((clear - private).abs() / clear < 0.02, "{clear} vs {private}");
+        assert!(
+            (clear - private).abs() / clear < 0.02,
+            "{clear} vs {private}"
+        );
     }
 
     #[test]
@@ -1240,7 +1265,10 @@ mod refresh_tests {
         let degraded = run_with_midway_refresh(Some(10.0));
         // 64 MiB at 100 Mbps ≈ 5.4 s steady. Dropping the disk to 10 Mbps
         // after 2 s leaves ~39 MiB to move at 10 Mbps ≈ 33 s more.
-        assert!(degraded > steady * 3.0, "steady {steady} vs degraded {degraded}");
+        assert!(
+            degraded > steady * 3.0,
+            "steady {steady} vs degraded {degraded}"
+        );
     }
 
     #[test]

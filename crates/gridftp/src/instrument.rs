@@ -1,0 +1,107 @@
+//! Bridging transfer outcomes into the observability layer.
+//!
+//! A completed [`TransferOutcome`](crate::transfer::TransferOutcome) carries
+//! the session's phase records (control — authentication and handshake —,
+//! ramp-up, data, completion/teardown). This module converts one into a
+//! [`TransferSpan`] so the grid orchestrator can emit `span.*` events and
+//! feed the per-phase histograms without re-deriving the timeline.
+
+use datagrid_obs::span::{PhaseSpan, TransferSpan};
+
+use crate::transfer::{Protocol, TransferOutcome};
+
+/// Stable lowercase label for a protocol (used in events and metrics).
+pub fn protocol_label(protocol: Protocol) -> &'static str {
+    match protocol {
+        Protocol::Ftp => "ftp",
+        Protocol::GridFtp => "gridftp",
+    }
+}
+
+/// Convert a finished transfer into a span.
+///
+/// `id` is the caller's monotonic span id; `protocol` is a stable label
+/// (use [`protocol_label`], or a custom tag like `"local"` for synthetic
+/// outcomes); `lfn` names the logical file when the transfer served a
+/// catalog fetch.
+pub fn span_from_outcome(
+    id: u64,
+    src: &str,
+    dst: &str,
+    protocol: &str,
+    lfn: Option<&str>,
+    outcome: &TransferOutcome,
+) -> TransferSpan {
+    TransferSpan {
+        id,
+        src: src.to_string(),
+        dst: dst.to_string(),
+        protocol: protocol.to_string(),
+        lfn: lfn.map(str::to_string),
+        payload_bytes: outcome.payload_bytes,
+        wire_bytes: outcome.wire_bytes,
+        streams: outcome.streams,
+        stripes: outcome.stripes,
+        started: outcome.started,
+        finished: outcome.finished,
+        phases: outcome
+            .phases
+            .iter()
+            .map(|p| PhaseSpan {
+                name: p.name,
+                start: p.start,
+                end: p.end,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run_transfer, TransferEndpoint};
+    use crate::transfer::TransferRequest;
+    use datagrid_simnet::prelude::*;
+
+    fn sim() -> (NetSim, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node("src");
+        let b = topo.add_node("dst");
+        topo.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(5)),
+        );
+        (NetSim::new(topo, 7), a, b)
+    }
+
+    #[test]
+    fn outcome_phases_survive_the_conversion() {
+        let (mut sim, a, b) = sim();
+        let req = TransferRequest::new(8 << 20).with_protocol(Protocol::GridFtp);
+        let outcome = run_transfer(
+            &mut sim,
+            &req,
+            &TransferEndpoint::unconstrained(a),
+            &TransferEndpoint::unconstrained(b),
+            &TcpParams::default(),
+        )
+        .expect("transfer succeeds");
+        let span = span_from_outcome(
+            3,
+            "src",
+            "dst",
+            protocol_label(Protocol::GridFtp),
+            Some("f"),
+            &outcome,
+        );
+        assert_eq!(span.id, 3);
+        assert_eq!(span.protocol, "gridftp");
+        assert_eq!(span.phases.len(), outcome.phases.len());
+        assert!(span.phase("data").is_some(), "phases: {:?}", span.phases);
+        assert_eq!(span.payload_bytes, outcome.payload_bytes);
+        assert!(span.duration().as_secs_f64() > 0.0);
+        let events = span.to_events();
+        assert_eq!(events.len(), span.phases.len() + 2);
+    }
+}

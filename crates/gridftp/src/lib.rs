@@ -45,6 +45,7 @@
 pub mod error;
 pub mod executor;
 pub mod gsi;
+pub mod instrument;
 pub mod mode;
 pub mod session;
 pub mod transfer;
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use crate::error::TransferError;
     pub use crate::executor::{run_transfer, SessionStatus, TransferEndpoint, TransferSession};
     pub use crate::gsi::GsiConfig;
+    pub use crate::instrument::{protocol_label, span_from_outcome};
     pub use crate::mode::TransferMode;
     pub use crate::session::{ControlScript, ControlStep};
     pub use crate::transfer::{DataChannelProtection, Protocol, TransferOutcome, TransferRequest};

@@ -17,9 +17,10 @@ use crate::error::TransferError;
 pub const MODE_E_HEADER_BYTES: u64 = 17;
 
 /// A data-channel wire mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TransferMode {
     /// In-order bytes on one TCP connection (FTP-compatible default).
+    #[default]
     Stream,
     /// Extended block mode: framed blocks, out-of-order arrival, parallel
     /// streams.
@@ -27,12 +28,6 @@ pub enum TransferMode {
         /// Payload bytes per block (Globus default 64 KiB).
         block_size: u32,
     },
-}
-
-impl Default for TransferMode {
-    fn default() -> Self {
-        TransferMode::Stream
-    }
 }
 
 impl TransferMode {

@@ -89,9 +89,7 @@ impl ControlScript {
         steps.push(ControlStep::new("PASV", 1.0));
         // Data connection establishment for the first stream overlaps the
         // RETR round trip; additional streams connect concurrently.
-        steps.push(
-            ControlStep::new("RETR", 1.0).with_think(SimDuration::from_millis(1)),
-        );
+        steps.push(ControlStep::new("RETR", 1.0).with_think(SimDuration::from_millis(1)));
         ControlScript { steps }
     }
 
@@ -153,9 +151,7 @@ impl ControlScript {
                 total += gsi.handshake_time(rtt, client_compute_index, server_compute_index);
             } else {
                 total += SimDuration::from_secs_f64(rtt.as_secs_f64() * step.rtts)
-                    + SimDuration::from_secs_f64(
-                        step.think.as_secs_f64() / server_compute_index,
-                    );
+                    + SimDuration::from_secs_f64(step.think.as_secs_f64() / server_compute_index);
             }
         }
         total
@@ -172,7 +168,12 @@ mod tests {
 
     #[test]
     fn ftp_script_has_no_gsi() {
-        let s = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        let s = ControlScript::retrieve(
+            Protocol::Ftp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        );
         assert!(s.steps().iter().all(|st| st.name != "gsi-handshake"));
         assert!(s.steps().iter().any(|st| st.name == "USER/PASS"));
         assert!(s.steps().iter().all(|st| st.name != "MODE E"));
@@ -180,7 +181,12 @@ mod tests {
 
     #[test]
     fn gridftp_script_includes_gsi_and_mode() {
-        let s = ControlScript::retrieve(Protocol::GridFtp, TransferMode::extended_default(), 4, DataChannelProtection::Clear);
+        let s = ControlScript::retrieve(
+            Protocol::GridFtp,
+            TransferMode::extended_default(),
+            4,
+            DataChannelProtection::Clear,
+        );
         let names: Vec<&str> = s.steps().iter().map(|st| st.name).collect();
         assert!(names.contains(&"gsi-handshake"));
         assert!(names.contains(&"MODE E"));
@@ -189,18 +195,36 @@ mod tests {
 
     #[test]
     fn gridftp_stream_mode_skips_mode_e() {
-        let s = ControlScript::retrieve(Protocol::GridFtp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        let s = ControlScript::retrieve(
+            Protocol::GridFtp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        );
         assert!(s.steps().iter().all(|st| st.name != "MODE E"));
-        assert!(s.steps().iter().all(|st| st.name != "OPTS RETR Parallelism"));
+        assert!(s
+            .steps()
+            .iter()
+            .all(|st| st.name != "OPTS RETR Parallelism"));
     }
 
     #[test]
     fn gridftp_costs_more_than_ftp() {
         let gsi = GsiConfig::default();
-        let ftp = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear)
-            .duration(ms(10), &gsi, 2.0, 2.0);
-        let gftp = ControlScript::retrieve(Protocol::GridFtp, TransferMode::Stream, 0, DataChannelProtection::Clear)
-            .duration(ms(10), &gsi, 2.0, 2.0);
+        let ftp = ControlScript::retrieve(
+            Protocol::Ftp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        )
+        .duration(ms(10), &gsi, 2.0, 2.0);
+        let gftp = ControlScript::retrieve(
+            Protocol::GridFtp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        )
+        .duration(ms(10), &gsi, 2.0, 2.0);
         assert!(gftp > ftp, "GridFTP {gftp} must exceed FTP {ftp}");
         // The gap is dominated by the handshake.
         let gap = (gftp - ftp).as_millis_f64();
@@ -210,7 +234,12 @@ mod tests {
     #[test]
     fn duration_scales_with_rtt() {
         let gsi = GsiConfig::disabled();
-        let script = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        let script = ControlScript::retrieve(
+            Protocol::Ftp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        );
         let short = script.duration(ms(1), &gsi, 1.0, 1.0);
         let long = script.duration(ms(100), &gsi, 1.0, 1.0);
         assert!(long > short * 20);
@@ -219,7 +248,12 @@ mod tests {
     #[test]
     fn slow_server_thinks_longer() {
         let gsi = GsiConfig::disabled();
-        let script = ControlScript::retrieve(Protocol::Ftp, TransferMode::Stream, 0, DataChannelProtection::Clear);
+        let script = ControlScript::retrieve(
+            Protocol::Ftp,
+            TransferMode::Stream,
+            0,
+            DataChannelProtection::Clear,
+        );
         let fast = script.duration(ms(1), &gsi, 1.0, 8.0);
         let slow = script.duration(ms(1), &gsi, 1.0, 0.5);
         assert!(slow > fast);
@@ -262,12 +296,9 @@ mod reuse_tests {
             DataChannelProtection::Clear,
         )
         .duration(SimDuration::from_millis(10), &gsi, 2.0, 2.0);
-        let cached = ControlScript::retrieve_cached(
-            TransferMode::Stream,
-            0,
-            DataChannelProtection::Clear,
-        )
-        .duration(SimDuration::from_millis(10), &gsi, 2.0, 2.0);
+        let cached =
+            ControlScript::retrieve_cached(TransferMode::Stream, 0, DataChannelProtection::Clear)
+                .duration(SimDuration::from_millis(10), &gsi, 2.0, 2.0);
         assert!(
             cached.as_secs_f64() < full.as_secs_f64() / 5.0,
             "cached {cached} vs full {full}"
@@ -276,11 +307,8 @@ mod reuse_tests {
 
     #[test]
     fn cached_script_still_negotiates_protection() {
-        let s = ControlScript::retrieve_cached(
-            TransferMode::Stream,
-            0,
-            DataChannelProtection::Private,
-        );
+        let s =
+            ControlScript::retrieve_cached(TransferMode::Stream, 0, DataChannelProtection::Private);
         assert!(s.steps().iter().any(|st| st.name == "PBSZ/PROT"));
     }
 }

@@ -294,7 +294,10 @@ mod tests {
         let req = TransferRequest::new(100)
             .with_parallelism(4)
             .with_mode(TransferMode::Extended { block_size: 1024 });
-        assert_eq!(req.effective_mode(), TransferMode::Extended { block_size: 1024 });
+        assert_eq!(
+            req.effective_mode(),
+            TransferMode::Extended { block_size: 1024 }
+        );
     }
 
     #[test]
@@ -322,15 +325,30 @@ mod tests {
 
     #[test]
     fn range_validation() {
-        assert!(TransferRequest::new(100).with_range(50, 50).validate().is_ok());
-        assert!(TransferRequest::new(100).with_range(60, 50).validate().is_err());
-        assert!(TransferRequest::new(100).with_range(0, 0).validate().is_err());
-        assert_eq!(TransferRequest::new(100).with_range(50, 25).payload_bytes(), 25);
+        assert!(TransferRequest::new(100)
+            .with_range(50, 50)
+            .validate()
+            .is_ok());
+        assert!(TransferRequest::new(100)
+            .with_range(60, 50)
+            .validate()
+            .is_err());
+        assert!(TransferRequest::new(100)
+            .with_range(0, 0)
+            .validate()
+            .is_err());
+        assert_eq!(
+            TransferRequest::new(100).with_range(50, 25).payload_bytes(),
+            25
+        );
     }
 
     #[test]
     fn absurd_parallelism_rejected() {
-        assert!(TransferRequest::new(1).with_parallelism(65).validate().is_err());
+        assert!(TransferRequest::new(1)
+            .with_parallelism(65)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -347,9 +365,21 @@ mod tests {
             started: t0,
             finished: t10,
             phases: vec![
-                PhaseRecord { name: "control", start: t0, end: t1 },
-                PhaseRecord { name: "data", start: t1, end: t9 },
-                PhaseRecord { name: "completion", start: t9, end: t10 },
+                PhaseRecord {
+                    name: "control",
+                    start: t0,
+                    end: t1,
+                },
+                PhaseRecord {
+                    name: "data",
+                    start: t1,
+                    end: t9,
+                },
+                PhaseRecord {
+                    name: "completion",
+                    start: t9,
+                    end: t10,
+                },
             ],
         };
         assert_eq!(outcome.duration(), SimDuration::from_secs(10));

@@ -17,8 +17,11 @@ fn wan(bottleneck_mbps: f64, loss: f64) -> (NetSim, NodeId, NodeId) {
     t.add_duplex_link(
         mid,
         dst,
-        LinkSpec::new(Bandwidth::from_mbps(bottleneck_mbps), SimDuration::from_millis(8))
-            .with_loss(loss),
+        LinkSpec::new(
+            Bandwidth::from_mbps(bottleneck_mbps),
+            SimDuration::from_millis(8),
+        )
+        .with_loss(loss),
     );
     (NetSim::new(t, 3), src, dst)
 }

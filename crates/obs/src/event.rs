@@ -1,0 +1,305 @@
+//! Structured events and the in-memory ring buffer that retains them.
+
+use datagrid_simnet::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A single field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (bytes, counts, stream numbers).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (scores, fractions, seconds).
+    F64(f64),
+    /// Text (host names, logical file names, policy names).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Render as a JSON value (numbers bare, strings escaped).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => json_f64(*v),
+            Value::Str(s) => json_string(s),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A structured, timestamped observation.
+///
+/// `component` and `kind` form the event taxonomy (`component` is the
+/// emitting subsystem — `grid`, `gridftp`, `catalog`, `simnet`, `nws` —
+/// and `kind` a dotted event name like `transfer.complete`); `fields` carry
+/// the payload in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time at which the event happened.
+    pub time: SimTime,
+    /// Emitting subsystem (static taxonomy, e.g. `"grid"`).
+    pub component: &'static str,
+    /// Dotted event name within the component (e.g. `"transfer.complete"`).
+    pub kind: &'static str,
+    /// Ordered payload fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields.
+    pub fn new(time: SimTime, component: &'static str, kind: &'static str) -> Self {
+        Event {
+            time,
+            component,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a field (builder style; order is preserved in every export).
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Render as one JSON object (stable key order: `t_ns`, `component`,
+    /// `kind`, then fields in emission order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"t_ns\":");
+        out.push_str(&self.time.as_nanos().to_string());
+        out.push_str(",\"component\":");
+        out.push_str(&json_string(self.component));
+        out.push_str(",\"kind\":");
+        out.push_str(&json_string(self.kind));
+        for (key, value) in &self.fields {
+            out.push(',');
+            out.push_str(&json_string(key));
+            out.push(':');
+            out.push_str(&value.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>14.6}] {:<8} {}",
+            self.time.as_secs_f64(),
+            self.component,
+            self.kind
+        )?;
+        for (key, value) in &self.fields {
+            write!(f, " {key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-capacity event history; pushing past capacity evicts the oldest.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    events: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// A ring retaining at most `cap` events (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingBuffer {
+            events: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest at capacity.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many events have been evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop all retained events (the eviction counter keeps counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// JSON-escape a string, with quotes.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number. `{}` formatting is shortest-round-trip
+/// and fully deterministic; non-finite values (not valid JSON numbers) are
+/// stringified.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // "1" is a valid JSON number; keep it bare.
+        s
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_is_stable_and_escaped() {
+        let e = Event::new(
+            SimTime::from_nanos(1_500_000_000),
+            "grid",
+            "transfer.complete",
+        )
+        .with("bytes", 32u64 << 20)
+        .with("src", "alpha\"4\"")
+        .with("secs", 1.25f64)
+        .with("ok", true);
+        assert_eq!(
+            e.to_json(),
+            "{\"t_ns\":1500000000,\"component\":\"grid\",\"kind\":\"transfer.complete\",\
+             \"bytes\":33554432,\"src\":\"alpha\\\"4\\\"\",\"secs\":1.25,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..5u64 {
+            ring.push(Event::new(SimTime::from_nanos(i), "t", "tick").with("i", i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let first = ring.iter().next().expect("non-empty");
+        assert_eq!(first.field("i"), Some(&Value::U64(2)));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Event::new(SimTime::from_secs_f64(2.0), "nws", "probe.start").with("path", "a->b");
+        let line = format!("{e}");
+        assert!(line.contains("nws"));
+        assert!(line.contains("probe.start"));
+        assert!(line.contains("path=a->b"));
+    }
+}

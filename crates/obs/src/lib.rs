@@ -1,0 +1,170 @@
+//! # datagrid-obs
+//!
+//! Grid-wide observability for the Data Grid reproduction: the layer that
+//! lets an experiment explain *why* a replica was chosen and *what* the
+//! simulated network and hosts were doing while a transfer ran — the
+//! instrumented history that the NWS / regression-prediction lineage of the
+//! paper (Vazhkudai & Foster; Vazhkudai & Schopf) builds on.
+//!
+//! Three cooperating pieces, all dependency-free and deterministic:
+//!
+//! - a **structured event bus** ([`event::Event`], [`bus::EventBus`]) with
+//!   pluggable sinks — an in-memory ring buffer, and text / JSONL writers;
+//! - a **metrics registry** ([`metrics::MetricsRegistry`]) of named
+//!   counters, gauges and fixed-bucket histograms, with byte-stable text
+//!   and JSON exporters;
+//! - **transfer spans** ([`span::TransferSpan`]) and a **selection audit
+//!   log** ([`audit::SelectionAuditLog`]) recording every GridFTP session's
+//!   phase timeline and every cost-model decision's per-candidate
+//!   `BW_P / CPU_P / IO_P` breakdown.
+//!
+//! [`Recorder`] bundles the ring buffer, registry and audit log into one
+//!   `Clone`-able unit so the `DataGrid` orchestrator (which is cloned for
+//! counterfactual replay) carries its instrumentation state by value:
+//! clones observe independently and never entangle.
+//!
+//! Everything renders through `BTreeMap`-ordered iteration and plain
+//! decimal formatting, so two identically-seeded runs export byte-identical
+//! dumps — that property is load-bearing and covered by tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod bus;
+pub mod event;
+pub mod metrics;
+pub mod span;
+
+pub use audit::{CandidateAudit, SelectionAuditLog, SelectionDecision};
+pub use bus::{EventBus, EventSink, JsonlSink, RingBufferSink, TextSink};
+pub use event::{Event, RingBuffer, Value};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{PhaseSpan, TransferSpan};
+
+/// The `Clone`-able observability state a grid carries by value.
+///
+/// Holds the event ring buffer, the metrics registry and the selection
+/// audit log. Cloning a [`Recorder`] (as part of cloning a grid for
+/// counterfactual replay) yields a fully independent copy.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    enabled: bool,
+    events: RingBuffer,
+    metrics: MetricsRegistry,
+    audit: SelectionAuditLog,
+}
+
+impl Recorder {
+    /// Default ring-buffer capacity (events retained before the oldest are
+    /// dropped).
+    pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+    /// A recorder with the default event capacity, enabled.
+    pub fn new() -> Self {
+        Recorder::with_capacity(Self::DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A recorder retaining at most `capacity` events, enabled.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            enabled: true,
+            events: RingBuffer::new(capacity),
+            metrics: MetricsRegistry::new(),
+            audit: SelectionAuditLog::new(),
+        }
+    }
+
+    /// A recorder that ignores everything handed to it.
+    pub fn disabled() -> Self {
+        let mut r = Recorder::new();
+        r.enabled = false;
+        r
+    }
+
+    /// Whether this recorder is accepting events and metric updates.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable recording in place.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Record a structured event (dropped when disabled).
+    pub fn emit(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The retained event history, oldest first.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted from the ring buffer so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// Shared access to the metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    ///
+    /// Metric updates land even while the recorder is disabled — upkeep is
+    /// cheap and truthful counters are easier to reason about than
+    /// half-recorded ones. The enabled flag gates only the event ring and
+    /// the audit log; callers wanting full silence gate on
+    /// [`Recorder::is_enabled`] themselves.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Shared access to the selection audit log.
+    pub fn audit(&self) -> &SelectionAuditLog {
+        &self.audit
+    }
+
+    /// Mutable access to the selection audit log.
+    pub fn audit_mut(&mut self) -> &mut SelectionAuditLog {
+        &mut self.audit
+    }
+
+    /// Record a selection decision (dropped when disabled).
+    pub fn record_decision(&mut self, decision: SelectionDecision) {
+        if self.enabled {
+            self.audit.record(decision);
+        }
+    }
+
+    /// Replay the retained event history into a bus (oldest first).
+    ///
+    /// This is how the by-value recorder meets the pluggable-sink world:
+    /// attach text/JSONL sinks to a bus, then replay.
+    pub fn replay_into(&self, bus: &mut EventBus) {
+        for event in self.events.iter() {
+            bus.publish(event);
+        }
+    }
+
+    /// All retained events as JSON Lines.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events.iter() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}

@@ -1,0 +1,210 @@
+//! Transfer spans: the phase timeline of one (Grid)FTP session.
+//!
+//! A span is protocol-agnostic — the `gridftp` crate converts its
+//! `TransferOutcome` phase records into one of these, and the grid
+//! orchestrator emits it as `span.*` events and histogram observations.
+
+use crate::event::{json_string, Event};
+use datagrid_simnet::time::{SimDuration, SimTime};
+
+/// One contiguous phase inside a transfer span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (the GridFTP lifecycle: `control` — authentication and
+    /// handshake —, `ramp_up`, `data`, `completion` / teardown).
+    pub name: &'static str,
+    /// Phase start time.
+    pub start: SimTime,
+    /// Phase end time.
+    pub end: SimTime,
+}
+
+impl PhaseSpan {
+    /// Wall-clock length of the phase.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The full instrumented record of one transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferSpan {
+    /// Monotonic span id within one grid run.
+    pub id: u64,
+    /// Source host name.
+    pub src: String,
+    /// Destination host name.
+    pub dst: String,
+    /// Protocol label (`ftp`, `gridftp`).
+    pub protocol: String,
+    /// Logical file name, when the transfer served a catalog fetch.
+    pub lfn: Option<String>,
+    /// Application payload moved, in bytes.
+    pub payload_bytes: u64,
+    /// Bytes on the wire including protocol framing.
+    pub wire_bytes: u64,
+    /// Parallel TCP streams used.
+    pub streams: u32,
+    /// Stripe count (striped transfers; 1 otherwise).
+    pub stripes: u32,
+    /// Session start time.
+    pub started: SimTime,
+    /// Session end time.
+    pub finished: SimTime,
+    /// Phase timeline, in order.
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl TransferSpan {
+    /// End-to-end duration of the transfer.
+    pub fn duration(&self) -> SimDuration {
+        self.finished.saturating_since(self.started)
+    }
+
+    /// Find a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Render the span as its event sequence: one `span.open`, one
+    /// `span.phase` per phase, one `span.close`.
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut events = Vec::with_capacity(self.phases.len() + 2);
+        let mut open = Event::new(self.started, "gridftp", "span.open")
+            .with("span", self.id)
+            .with("src", self.src.as_str())
+            .with("dst", self.dst.as_str())
+            .with("protocol", self.protocol.as_str())
+            .with("payload_bytes", self.payload_bytes)
+            .with("streams", self.streams)
+            .with("stripes", self.stripes);
+        if let Some(lfn) = &self.lfn {
+            open = open.with("lfn", lfn.as_str());
+        }
+        events.push(open);
+        for phase in &self.phases {
+            events.push(
+                Event::new(phase.end, "gridftp", "span.phase")
+                    .with("span", self.id)
+                    .with("phase", phase.name)
+                    .with("secs", phase.duration().as_secs_f64()),
+            );
+        }
+        events.push(
+            Event::new(self.finished, "gridftp", "span.close")
+                .with("span", self.id)
+                .with("secs", self.duration().as_secs_f64())
+                .with("wire_bytes", self.wire_bytes),
+        );
+        events
+    }
+
+    /// Render as one JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"span\":{},\"src\":{},\"dst\":{},\"protocol\":{},\"lfn\":{},\
+             \"payload_bytes\":{},\"wire_bytes\":{},\"streams\":{},\"stripes\":{},\
+             \"start_ns\":{},\"end_ns\":{},\"phases\":[",
+            self.id,
+            json_string(&self.src),
+            json_string(&self.dst),
+            json_string(&self.protocol),
+            self.lfn
+                .as_deref()
+                .map_or_else(|| "null".to_string(), json_string),
+            self.payload_bytes,
+            self.wire_bytes,
+            self.streams,
+            self.stripes,
+            self.started.as_nanos(),
+            self.finished.as_nanos(),
+        );
+        for (i, phase) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"start_ns\":{},\"end_ns\":{}}}",
+                json_string(phase.name),
+                phase.start.as_nanos(),
+                phase.end.as_nanos(),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> TransferSpan {
+        let t = SimTime::from_secs_f64;
+        TransferSpan {
+            id: 7,
+            src: "alpha4".into(),
+            dst: "alpha1".into(),
+            protocol: "gridftp".into(),
+            lfn: Some("file-d".into()),
+            payload_bytes: 32 << 20,
+            wire_bytes: (32 << 20) + 4096,
+            streams: 4,
+            stripes: 1,
+            started: t(10.0),
+            finished: t(14.0),
+            phases: vec![
+                PhaseSpan {
+                    name: "control",
+                    start: t(10.0),
+                    end: t(10.5),
+                },
+                PhaseSpan {
+                    name: "data",
+                    start: t(10.5),
+                    end: t(13.8),
+                },
+                PhaseSpan {
+                    name: "completion",
+                    start: t(13.8),
+                    end: t(14.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn event_sequence_brackets_the_phases() {
+        let events = span().to_events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].kind, "span.open");
+        assert_eq!(events[4].kind, "span.close");
+        assert!(events[1..4].iter().all(|e| e.kind == "span.phase"));
+        assert_eq!(
+            events[0].field("lfn").map(|v| v.to_string()),
+            Some("file-d".into())
+        );
+    }
+
+    #[test]
+    fn json_has_phases_in_order() {
+        let json = span().to_json();
+        let control = json.find("\"control\"").expect("control");
+        let data = json.find("\"data\"").expect("data");
+        let completion = json.find("\"completion\"").expect("completion");
+        assert!(control < data && data < completion);
+        assert!(json.contains("\"payload_bytes\":33554432"));
+    }
+
+    #[test]
+    fn duration_and_phase_lookup() {
+        let s = span();
+        assert!((s.duration().as_secs_f64() - 4.0).abs() < 1e-9);
+        assert!((s.phase("data").expect("data").duration().as_secs_f64() - 3.3).abs() < 1e-9);
+        assert!(s.phase("nope").is_none());
+    }
+}

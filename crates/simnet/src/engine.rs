@@ -184,11 +184,31 @@ enum Internal {
     BackgroundArrival { profile: usize },
 }
 
+/// Lifetime counters of one [`NetSim`] — how much work the engine has
+/// done. Cheap to keep (a handful of integer bumps per event) and exported
+/// by the observability layer as `simnet.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Internal events processed (timers, completions, background arrivals).
+    pub events_processed: u64,
+    /// Timers delivered to the driver.
+    pub timers_fired: u64,
+    /// User/probe flows started.
+    pub flows_started: u64,
+    /// User/probe flows completed.
+    pub flows_completed: u64,
+    /// Background flows started by traffic profiles.
+    pub background_flows_started: u64,
+    /// Payload bytes of completed user/probe flows.
+    pub bytes_completed: u64,
+}
+
 /// The discrete-event network simulator.
 ///
 /// See the [crate-level documentation](crate) for a full example.
 #[derive(Debug, Clone)]
 pub struct NetSim {
+    stats: EngineStats,
     topo: Topology,
     routing: RoutingTable,
     link_caps: Vec<f64>,
@@ -215,6 +235,7 @@ impl NetSim {
             .map(|l| l.spec.capacity.as_bps())
             .collect();
         NetSim {
+            stats: EngineStats::default(),
             topo,
             routing,
             link_caps,
@@ -262,6 +283,11 @@ impl NetSim {
         self.flows.len()
     }
 
+    /// Lifetime engine counters (events, timers, flows, bytes).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
     /// Installs a background traffic profile; the first arrival is
     /// scheduled immediately (with an exponential offset).
     ///
@@ -282,7 +308,8 @@ impl NetSim {
         ));
         let first = self.now + SimDuration::from_secs_f64(rng.exponential(profile.arrival_rate_hz));
         self.background.push((profile, rng));
-        self.queue.push(first, Internal::BackgroundArrival { profile: idx });
+        self.queue
+            .push(first, Internal::BackgroundArrival { profile: idx });
     }
 
     /// Starts a flow now; returns its id. Completion is announced through
@@ -301,6 +328,11 @@ impl NetSim {
             .unwrap_or_else(|| panic!("no route {} -> {}", spec.src, spec.dst))
             .clone();
         self.settle();
+        if matches!(spec.tag, FlowTag::Background) {
+            self.stats.background_flows_started += 1;
+        } else {
+            self.stats.flows_started += 1;
+        }
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
         let cap_bps = spec.cap.map_or(f64::INFINITY, Bandwidth::as_bps);
@@ -376,7 +408,12 @@ impl NetSim {
     /// bandwidth sensor observes. Does not disturb existing flows.
     ///
     /// Returns [`Bandwidth::ZERO`] when the nodes are not connected.
-    pub fn available_bandwidth(&self, src: NodeId, dst: NodeId, cap: Option<Bandwidth>) -> Bandwidth {
+    pub fn available_bandwidth(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        cap: Option<Bandwidth>,
+    ) -> Bandwidth {
         let Some(path) = self.routing.path(src, dst) else {
             return Bandwidth::ZERO;
         };
@@ -476,9 +513,11 @@ impl NetSim {
     }
 
     fn handle(&mut self, internal: Internal) {
+        self.stats.events_processed += 1;
         match internal {
             Internal::Timer { token } => {
                 self.pending_timers -= 1;
+                self.stats.timers_fired += 1;
                 self.pending.push_back(SimEvent {
                     time: self.now,
                     kind: EventKind::TimerFired(token),
@@ -499,6 +538,8 @@ impl NetSim {
                 }
                 let f = self.flows.swap_remove(idx);
                 if !matches!(f.tag, FlowTag::Background) {
+                    self.stats.flows_completed += 1;
+                    self.stats.bytes_completed += f.total_bytes;
                     self.pending.push_back(SimEvent {
                         time: self.now,
                         kind: EventKind::FlowCompleted(FlowCompletion {
@@ -530,7 +571,8 @@ impl NetSim {
                     cap: p.flow_cap,
                     tag: FlowTag::Background,
                 };
-                self.queue.push(next, Internal::BackgroundArrival { profile });
+                self.queue
+                    .push(next, Internal::BackgroundArrival { profile });
                 let _ = self.start_flow(spec);
             }
         }
@@ -635,6 +677,23 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_flows_timers_and_bytes() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 1);
+        assert_eq!(sim.stats(), EngineStats::default());
+        sim.start_flow(FlowSpec::new(a, c, 12_500_000));
+        sim.schedule_timer_after(ms(100), 7);
+        while sim.next_event().is_some() {}
+        let stats = sim.stats();
+        assert_eq!(stats.flows_started, 1);
+        assert_eq!(stats.flows_completed, 1);
+        assert_eq!(stats.timers_fired, 1);
+        assert_eq!(stats.bytes_completed, 12_500_000);
+        assert_eq!(stats.background_flows_started, 0);
+        assert!(stats.events_processed >= 2);
+    }
+
+    #[test]
     fn flow_cap_limits_rate() {
         let (t, a, _, c) = line();
         let mut sim = NetSim::new(t, 1);
@@ -670,7 +729,11 @@ mod tests {
             panic!("want completion")
         };
         assert_eq!(d2.id, f2);
-        assert!((d2.finished.as_secs_f64() - 3.0).abs() < 1e-6, "{}", d2.finished);
+        assert!(
+            (d2.finished.as_secs_f64() - 3.0).abs() < 1e-6,
+            "{}",
+            d2.finished
+        );
     }
 
     #[test]
@@ -718,7 +781,11 @@ mod tests {
         let EventKind::FlowCompleted(done) = ev.kind else {
             panic!()
         };
-        assert!((done.finished.as_secs_f64() - 2.5).abs() < 1e-6, "{}", done.finished);
+        assert!(
+            (done.finished.as_secs_f64() - 2.5).abs() < 1e-6,
+            "{}",
+            done.finished
+        );
         assert!(!sim.set_flow_cap(id, mbps(1.0)));
     }
 

@@ -47,7 +47,10 @@ pub fn max_min_allocation(flows: &[FlowDemand<'_>], link_capacity_bps: &[f64]) -
         assert!(c >= 0.0 && !c.is_nan(), "negative or NaN link capacity {c}");
     }
     for f in flows {
-        assert!(f.cap_bps >= 0.0 && !f.cap_bps.is_nan(), "negative or NaN flow cap");
+        assert!(
+            f.cap_bps >= 0.0 && !f.cap_bps.is_nan(),
+            "negative or NaN flow cap"
+        );
         for l in f.route {
             assert!(
                 l.index() < link_capacity_bps.len(),
@@ -193,7 +196,10 @@ mod tests {
     }
 
     fn demand(route: &[LinkId], cap: f64) -> FlowDemand<'_> {
-        FlowDemand { route, cap_bps: cap }
+        FlowDemand {
+            route,
+            cap_bps: cap,
+        }
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub use topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::background::{BackgroundProfile, BackgroundTraffic};
-    pub use crate::engine::{EventKind, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent};
+    pub use crate::engine::{
+        EngineStats, EventKind, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent,
+    };
     pub use crate::rng::SimRng;
     pub use crate::stats::{OnlineStats, TimeWeightedMean};
     pub use crate::tcp::TcpParams;

@@ -64,10 +64,7 @@ impl SimRng {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -90,7 +87,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -166,7 +166,10 @@ impl SimRng {
     ///
     /// Panics if `xm` or `alpha` is not strictly positive.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "bad pareto parameters xm={xm} alpha={alpha}");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "bad pareto parameters xm={xm} alpha={alpha}"
+        );
         let u = 1.0 - self.next_f64();
         xm / u.powf(1.0 / alpha)
     }

@@ -142,7 +142,10 @@ impl TcpParams {
             return SimDuration::ZERO;
         }
         let target_window = (rate * rtt_s).max(self.initial_window as f64);
-        let rounds = (target_window / self.initial_window as f64).log2().ceil().max(0.0);
+        let rounds = (target_window / self.initial_window as f64)
+            .log2()
+            .ceil()
+            .max(0.0);
         if rounds == 0.0 {
             return SimDuration::ZERO;
         }
@@ -193,7 +196,11 @@ mod tests {
         let mathis = tcp.mathis_rate(ms(20)).unwrap();
         assert_eq!(steady, mathis);
         // MSS 1460 B, RTT 20 ms, p=0.005: ~10.1 Mbps.
-        assert!((mathis.as_mbps() - 10.11).abs() < 0.1, "{}", mathis.as_mbps());
+        assert!(
+            (mathis.as_mbps() - 10.11).abs() < 0.1,
+            "{}",
+            mathis.as_mbps()
+        );
     }
 
     #[test]

@@ -160,11 +160,7 @@ fn secs_to_nanos(secs: f64) -> u64 {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulated clock overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulated clock overflow"))
     }
 }
 
@@ -315,7 +311,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs_f64(1.0))

@@ -512,7 +512,10 @@ mod tests {
     fn bandwidth_conversions() {
         assert_eq!(Bandwidth::from_gbps(1.0).as_bps(), 1e9);
         assert_eq!(Bandwidth::from_mbps(30.0).as_bytes_per_sec(), 3.75e6);
-        assert_eq!(mbps(8.0).time_for_bytes(1_000_000), SimDuration::from_secs(1));
+        assert_eq!(
+            mbps(8.0).time_for_bytes(1_000_000),
+            SimDuration::from_secs(1)
+        );
         assert_eq!(Bandwidth::ZERO.time_for_bytes(1), SimDuration::MAX);
     }
 
@@ -621,10 +624,10 @@ mod loss_tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        let spec_ab = LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(1))
-            .with_loss(0.01);
-        let spec_bc = LinkSpec::new(Bandwidth::from_mbps(30.0), SimDuration::from_millis(1))
-            .with_loss(0.02);
+        let spec_ab =
+            LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(1)).with_loss(0.01);
+        let spec_bc =
+            LinkSpec::new(Bandwidth::from_mbps(30.0), SimDuration::from_millis(1)).with_loss(0.02);
         t.add_duplex_link(a, b, spec_ab);
         t.add_duplex_link(b, c, spec_bc);
         let rt = RoutingTable::compute(&t);
@@ -655,8 +658,16 @@ mod dot_tests {
         let a = t.add_node("alpha1");
         let b = t.add_node("switch");
         let c = t.add_node("probe");
-        t.add_duplex_link(a, b, LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::from_millis(1)));
-        t.add_link(b, c, LinkSpec::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(2)));
+        t.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(Bandwidth::from_gbps(1.0), SimDuration::from_millis(1)),
+        );
+        t.add_link(
+            b,
+            c,
+            LinkSpec::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(2)),
+        );
         let dot = t.to_dot();
         assert!(dot.starts_with("digraph topology {"));
         assert!(dot.contains("label=\"alpha1\""));

@@ -6,7 +6,7 @@
 //! [`NetworkTrace::sample`] (the Data Grid does so on monitoring ticks),
 //! and answers windowed queries over the recorded history.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::engine::NetSim;
 use crate::time::{SimDuration, SimTime};
@@ -22,9 +22,13 @@ pub struct UtilizationSample {
 }
 
 /// Bounded utilisation history for one directed link.
+///
+/// Stored as a ring buffer: once the retention bound is reached, each new
+/// sample evicts the oldest in O(1) (a `Vec` here would shift the whole
+/// history on every push — O(n) per sample, quadratic over a long run).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkTrace {
-    samples: Vec<UtilizationSample>,
+    samples: VecDeque<UtilizationSample>,
     cap: usize,
 }
 
@@ -34,21 +38,32 @@ impl LinkTrace {
 
     fn new() -> Self {
         LinkTrace {
-            samples: Vec::new(),
+            samples: VecDeque::new(),
             cap: Self::DEFAULT_CAPACITY,
         }
     }
 
     fn push(&mut self, time: SimTime, utilization: f64) {
         if self.samples.len() == self.cap {
-            self.samples.remove(0);
+            self.samples.pop_front();
         }
-        self.samples.push(UtilizationSample { time, utilization });
+        self.samples
+            .push_back(UtilizationSample { time, utilization });
     }
 
     /// The recorded samples, oldest first.
-    pub fn samples(&self) -> &[UtilizationSample] {
-        &self.samples
+    pub fn samples(&self) -> impl ExactSizeIterator<Item = &UtilizationSample> {
+        self.samples.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
     }
 
     /// Mean utilisation over `[now - window, now]`, or `None` when no
@@ -148,7 +163,12 @@ mod tests {
     use crate::engine::{EventKind, FlowSpec};
     use crate::topology::{Bandwidth, LinkSpec, Topology};
 
-    fn setup() -> (NetSim, crate::topology::NodeId, crate::topology::NodeId, LinkId) {
+    fn setup() -> (
+        NetSim,
+        crate::topology::NodeId,
+        crate::topology::NodeId,
+        LinkId,
+    ) {
         let mut topo = Topology::new();
         let a = topo.add_node("a");
         let b = topo.add_node("b");
@@ -175,7 +195,7 @@ mod tests {
         }
         trace.sample(&sim);
         let t = trace.link(fwd).unwrap();
-        let utils: Vec<f64> = t.samples().iter().map(|s| s.utilization).collect();
+        let utils: Vec<f64> = t.samples().map(|s| s.utilization).collect();
         assert_eq!(utils.len(), 3);
         assert_eq!(utils[0], 0.0);
         assert!((utils[1] - 0.5).abs() < 1e-9);
@@ -204,6 +224,17 @@ mod tests {
         assert!((wide - 0.5).abs() < 1e-9);
         // Empty window in the past.
         assert_eq!(t.mean_over(SimTime::ZERO, SimDuration::ZERO), Some(0.0));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_sample() {
+        let mut t = LinkTrace::new();
+        for i in 0..(LinkTrace::DEFAULT_CAPACITY + 10) {
+            t.push(SimTime::from_nanos(i as u64), 0.25);
+        }
+        assert_eq!(t.len(), LinkTrace::DEFAULT_CAPACITY);
+        let first = t.samples().next().expect("non-empty");
+        assert_eq!(first.time, SimTime::from_nanos(10));
     }
 
     #[test]

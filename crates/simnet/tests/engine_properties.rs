@@ -4,14 +4,21 @@ use datagrid_simnet::prelude::*;
 use proptest::prelude::*;
 
 /// Builds a dumbbell: srcs -- hub1 -- hub2 -- dsts.
-fn dumbbell(src_count: usize, dst_count: usize, middle_mbps: f64) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+fn dumbbell(
+    src_count: usize,
+    dst_count: usize,
+    middle_mbps: f64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
     let mut topo = Topology::new();
     let hub1 = topo.add_node("hub1");
     let hub2 = topo.add_node("hub2");
     topo.add_duplex_link(
         hub1,
         hub2,
-        LinkSpec::new(Bandwidth::from_mbps(middle_mbps), SimDuration::from_millis(5)),
+        LinkSpec::new(
+            Bandwidth::from_mbps(middle_mbps),
+            SimDuration::from_millis(5),
+        ),
     );
     let srcs: Vec<NodeId> = (0..src_count)
         .map(|i| {

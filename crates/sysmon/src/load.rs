@@ -65,7 +65,10 @@ impl LoadModel {
             LoadModel::Constant(u) => check(u, "constant utilisation"),
             LoadModel::Ar1 { mean, phi, sigma } => {
                 check(mean, "AR(1) mean");
-                assert!((0.0..1.0).contains(&phi), "phi must be in [0, 1), got {phi}");
+                assert!(
+                    (0.0..1.0).contains(&phi),
+                    "phi must be in [0, 1), got {phi}"
+                );
                 assert!(sigma >= 0.0, "sigma must be non-negative");
             }
             LoadModel::MarkovOnOff {
@@ -218,14 +221,12 @@ impl LoadProcess {
                 period_steps,
                 sigma,
             } => {
-                let phase = std::f64::consts::TAU * (self.step % period_steps) as f64
-                    / period_steps as f64;
+                let phase =
+                    std::f64::consts::TAU * (self.step % period_steps) as f64 / period_steps as f64;
                 (base + amplitude * phase.sin() + sigma * self.rng.standard_normal())
                     .clamp(0.0, 1.0)
             }
-            LoadModel::Trace(ref samples) => {
-                samples[(self.step as usize - 1) % samples.len()]
-            }
+            LoadModel::Trace(ref samples) => samples[(self.step as usize - 1) % samples.len()],
         };
         self.current
     }
@@ -306,10 +307,7 @@ mod tests {
         for _ in 0..24 {
             values.push(p.advance());
         }
-        let peak = values
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let peak = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let trough = values.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((peak - 0.8).abs() < 1e-9, "peak {peak}");
         assert!((trough - 0.2).abs() < 1e-9, "trough {trough}");

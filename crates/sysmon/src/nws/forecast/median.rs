@@ -187,7 +187,10 @@ mod tests {
             f.update(80.0);
         }
         let fc = f.forecast().unwrap();
-        assert!(fc > 50.0, "adaptive median should track the shift, got {fc}");
+        assert!(
+            fc > 50.0,
+            "adaptive median should track the shift, got {fc}"
+        );
     }
 
     #[test]

@@ -216,7 +216,7 @@ impl MetaForecaster {
                 continue;
             }
             let k = key(s);
-            if best.map_or(true, |(_, bk)| k < bk) {
+            if best.is_none_or(|(_, bk)| k < bk) {
                 best = Some((i, k));
             }
         }

@@ -149,7 +149,13 @@ mod tests {
     #[test]
     fn noiseless_sensor_stores_exact_values() {
         let (a, b) = nodes();
-        let mut s = BandwidthSensor::new(a, b, Bandwidth::from_mbps(100.0), 0.0, SimRng::seed_from_u64(1));
+        let mut s = BandwidthSensor::new(
+            a,
+            b,
+            Bandwidth::from_mbps(100.0),
+            0.0,
+            SimRng::seed_from_u64(1),
+        );
         let stored = s.record(t(1.0), Bandwidth::from_mbps(40.0));
         assert_eq!(stored.as_mbps(), 40.0);
         assert_eq!(s.latest().unwrap().as_mbps(), 40.0);
@@ -159,7 +165,13 @@ mod tests {
     #[test]
     fn noisy_sensor_perturbs_but_stays_nonnegative() {
         let (a, b) = nodes();
-        let mut s = BandwidthSensor::new(a, b, Bandwidth::from_mbps(100.0), 0.10, SimRng::seed_from_u64(7));
+        let mut s = BandwidthSensor::new(
+            a,
+            b,
+            Bandwidth::from_mbps(100.0),
+            0.10,
+            SimRng::seed_from_u64(7),
+        );
         let mut any_different = false;
         for i in 0..100 {
             let stored = s.record(t(i as f64), Bandwidth::from_mbps(50.0));
@@ -177,7 +189,13 @@ mod tests {
     #[test]
     fn fraction_clamps_to_unit_interval() {
         let (a, b) = nodes();
-        let mut s = BandwidthSensor::new(a, b, Bandwidth::from_mbps(100.0), 0.0, SimRng::seed_from_u64(1));
+        let mut s = BandwidthSensor::new(
+            a,
+            b,
+            Bandwidth::from_mbps(100.0),
+            0.0,
+            SimRng::seed_from_u64(1),
+        );
         assert_eq!(s.bandwidth_fraction(), None);
         s.record(t(1.0), Bandwidth::from_mbps(150.0)); // over-measurement
         assert_eq!(s.bandwidth_fraction(), Some(1.0));
@@ -186,7 +204,13 @@ mod tests {
     #[test]
     fn forecast_tracks_changing_conditions() {
         let (a, b) = nodes();
-        let mut s = BandwidthSensor::new(a, b, Bandwidth::from_mbps(100.0), 0.0, SimRng::seed_from_u64(1));
+        let mut s = BandwidthSensor::new(
+            a,
+            b,
+            Bandwidth::from_mbps(100.0),
+            0.0,
+            SimRng::seed_from_u64(1),
+        );
         for i in 0..30 {
             s.record(t(i as f64), Bandwidth::from_mbps(80.0));
         }

@@ -22,10 +22,16 @@ pub struct Sample {
 /// s.push(SimTime::from_secs_f64(2.0), 20.0);
 /// assert_eq!(s.latest().unwrap().value, 20.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     samples: Vec<Sample>,
     cap: usize,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::new()
+    }
 }
 
 impl TimeSeries {
@@ -177,7 +183,10 @@ mod tests {
         // window covering samples 3 and 4.
         let m = s.mean_over(t(4.0), SimDuration::from_secs(1)).unwrap();
         assert!((m - 3.5).abs() < 1e-12);
-        assert_eq!(TimeSeries::new().mean_over(t(1.0), SimDuration::from_secs(1)), None);
+        assert_eq!(
+            TimeSeries::new().mean_over(t(1.0), SimDuration::from_secs(1)),
+            None
+        );
     }
 
     #[test]

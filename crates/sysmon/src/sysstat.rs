@@ -281,7 +281,11 @@ mod ifstat_tests {
         let mut trace = NetworkTrace::watching([fwd]);
         sim.start_flow(FlowSpec::new(a, b, 10_000_000).with_cap(Bandwidth::from_mbps(80.0)));
         trace.sample(&sim);
-        let report = ifstat_report("eth0", trace.link(fwd).unwrap(), Bandwidth::from_mbps(100.0));
+        let report = ifstat_report(
+            "eth0",
+            trace.link(fwd).unwrap(),
+            Bandwidth::from_mbps(100.0),
+        );
         assert!(report.contains("eth0"));
         assert!(report.contains("%ifutil"));
         assert!(report.contains("80.00"), "80% utilisation row: {report}");

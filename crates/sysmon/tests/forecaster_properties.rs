@@ -2,8 +2,8 @@
 
 use datagrid_simnet::rng::SimRng;
 use datagrid_sysmon::nws::forecast::{
-    Ar1Forecaster, ExpSmoothing, Forecaster, LastValue, MetaForecaster, RunningMean,
-    SlidingMean, SlidingMedian, TrimmedMean,
+    Ar1Forecaster, ExpSmoothing, Forecaster, LastValue, MetaForecaster, RunningMean, SlidingMean,
+    SlidingMedian, TrimmedMean,
 };
 use proptest::prelude::*;
 

@@ -1,6 +1,8 @@
-//! Experiment harness: text tables and selection-quality evaluation.
+//! Experiment harness: text tables, selection-quality evaluation and
+//! observability dumps.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 use datagrid_core::grid::{DataGrid, FetchOptions};
 use datagrid_core::policy::SelectionPolicy;
@@ -214,6 +216,64 @@ pub fn replay_trace(
     reports
 }
 
+/// Every observability export of a grid run, rendered to strings.
+///
+/// All five renders are deterministic: two identically seeded runs
+/// produce byte-identical dumps.
+#[derive(Debug, Clone)]
+pub struct ObsDump {
+    /// Metrics snapshot in the line-oriented text format.
+    pub metrics_text: String,
+    /// Metrics snapshot as a single JSON object.
+    pub metrics_json: String,
+    /// Retained structured events as JSON Lines, oldest first.
+    pub events_jsonl: String,
+    /// Selection audit log as a human-readable report.
+    pub audit_text: String,
+    /// Selection audit log as JSON Lines, one decision per line.
+    pub audit_jsonl: String,
+}
+
+/// Renders the full observability state of a grid — metrics (merged with
+/// the engine and catalog counters), event history and selection audit.
+pub fn obs_dump(grid: &DataGrid) -> ObsDump {
+    let metrics = grid.metrics_snapshot();
+    ObsDump {
+        metrics_text: metrics.render_text(),
+        metrics_json: metrics.render_json(),
+        events_jsonl: grid.recorder().events_jsonl(),
+        audit_text: grid.audit().render_text(),
+        audit_jsonl: grid.audit().render_jsonl(),
+    }
+}
+
+/// Writes an [`obs_dump`] to `dir` as five files named
+/// `<label>.metrics.txt`, `<label>.metrics.json`, `<label>.events.jsonl`,
+/// `<label>.audit.txt` and `<label>.audit.jsonl`, creating the directory
+/// if needed. Returns the written paths.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing.
+pub fn write_obs_dump(grid: &DataGrid, dir: &Path, label: &str) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let dump = obs_dump(grid);
+    let files = [
+        ("metrics.txt", dump.metrics_text),
+        ("metrics.json", dump.metrics_json),
+        ("events.jsonl", dump.events_jsonl),
+        ("audit.txt", dump.audit_text),
+        ("audit.jsonl", dump.audit_jsonl),
+    ];
+    let mut written = Vec::with_capacity(files.len());
+    for (suffix, contents) in files {
+        let path = dir.join(format!("{label}.{suffix}"));
+        std::fs::write(&path, contents)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
 /// Formats seconds compactly for tables.
 pub fn fmt_secs(secs: f64) -> String {
     format!("{secs:.1}")
@@ -315,5 +375,33 @@ mod replay_tests {
         assert!(reports.iter().all(|r| r.transfer.payload_bytes == 8 << 20));
         // Time moved forward past the last request.
         assert!(grid.now() >= trace.requests().last().unwrap().at);
+    }
+
+    #[test]
+    fn obs_dump_renders_and_writes_every_surface() {
+        let mut grid = paper_testbed(22).build();
+        grid.catalog_mut()
+            .register_logical("file-d".parse().unwrap(), 8 << 20)
+            .unwrap();
+        grid.place_replica("file-d", "alpha4").unwrap();
+        grid.warm_up(SimDuration::from_secs(60));
+        let client = grid.host_id("alpha1").unwrap();
+        grid.fetch(client, "file-d").unwrap();
+
+        let dump = obs_dump(&grid);
+        assert!(dump.metrics_text.contains("transfer.seconds"));
+        assert!(dump.metrics_json.contains("\"selection.decisions\":1"));
+        assert!(dump.events_jsonl.contains("\"kind\":\"span.close\""));
+        assert!(dump.audit_text.contains("alpha4"));
+        assert_eq!(dump.audit_jsonl.lines().count(), 1);
+
+        let dir = std::env::temp_dir().join(format!("datagrid-obs-{}", std::process::id()));
+        let written = write_obs_dump(&grid, &dir, "smoke").unwrap();
+        assert_eq!(written.len(), 5);
+        for path in &written {
+            let body = std::fs::read_to_string(path).unwrap();
+            assert!(!body.is_empty(), "{} is empty", path.display());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

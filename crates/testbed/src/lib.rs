@@ -23,7 +23,9 @@ pub use sites::{canonical_host, paper_testbed, PaperSites};
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::calibration::Calibration;
-    pub use crate::experiment::{replay_trace, selection_quality, QualityStats, TextTable};
+    pub use crate::experiment::{
+        obs_dump, replay_trace, selection_quality, write_obs_dump, ObsDump, QualityStats, TextTable,
+    };
     pub use crate::sites::{canonical_host, paper_testbed, PaperSites};
     pub use crate::workload::{Request, RequestTrace};
 }

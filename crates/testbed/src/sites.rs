@@ -15,8 +15,8 @@
 
 use datagrid_core::grid::GridBuilder;
 use datagrid_simnet::background::BackgroundProfile;
-use datagrid_simnet::topology::{LinkId, LinkSpec, NodeId};
 use datagrid_simnet::topology::Bandwidth;
+use datagrid_simnet::topology::{LinkId, LinkSpec, NodeId};
 use datagrid_sysmon::disk::DiskSpec;
 use datagrid_sysmon::host::HostSpec;
 use datagrid_sysmon::load::LoadModel;
@@ -183,7 +183,11 @@ pub fn paper_testbed_with(seed: u64, cal: &Calibration) -> (GridBuilder, PaperSi
         for &h in &lizen {
             // The paper lists the Li-Zen machines on Fast Ethernet-class
             // connectivity; their bottleneck is the site uplink anyway.
-            t.add_duplex_link(h, lizen_switch, LinkSpec::new(Bandwidth::from_mbps(100.0), cal.lan_latency));
+            t.add_duplex_link(
+                h,
+                lizen_switch,
+                LinkSpec::new(Bandwidth::from_mbps(100.0), cal.lan_latency),
+            );
         }
         for &h in &hit {
             t.add_duplex_link(h, hit_switch, lan);
@@ -255,7 +259,14 @@ pub fn paper_testbed_with(seed: u64, cal: &Calibration) -> (GridBuilder, PaperSi
     b.catalog_host("alpha1");
 
     // Watch the three uplinks so experiments can inspect WAN utilisation.
-    b.watch_links([thu_uplink.0, thu_uplink.1, hit_uplink.0, hit_uplink.1, lizen_uplink.0, lizen_uplink.1]);
+    b.watch_links([
+        thu_uplink.0,
+        thu_uplink.1,
+        hit_uplink.0,
+        hit_uplink.1,
+        lizen_uplink.0,
+        lizen_uplink.1,
+    ]);
 
     (
         b,
@@ -371,7 +382,12 @@ mod quiet_tests {
         // Without background traffic the only variation is sensor noise
         // (3 %): the spread of measurements stays tight around the
         // Mathis-limited ~36.5 Mbps.
-        let values: Vec<f64> = sensor.series().samples().iter().map(|s| s.value / 1e6).collect();
+        let values: Vec<f64> = sensor
+            .series()
+            .samples()
+            .iter()
+            .map(|s| s.value / 1e6)
+            .collect();
         assert!(values.len() > 20);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         assert!((30.0..45.0).contains(&mean), "mean {mean} Mbps");

@@ -161,7 +161,8 @@ mod tests {
 
     #[test]
     fn trace_deterministic_per_seed() {
-        let mk = |seed| RequestTrace::poisson(&["a"], &["f"], 1.0, SimDuration::from_secs(100), seed);
+        let mk =
+            |seed| RequestTrace::poisson(&["a"], &["f"], 1.0, SimDuration::from_secs(100), seed);
         assert_eq!(mk(5), mk(5));
         assert_ne!(mk(5), mk(6));
     }

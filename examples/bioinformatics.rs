@@ -48,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfirst run: staging the database to gridhit2");
     let mut total = 0.0;
     for (name, _) in DB_FILES {
-        let report = grid.fetch_with(
-            client,
-            name,
-            FetchOptions::default().with_parallelism(4),
-        )?;
+        let report = grid.fetch_with(client, name, FetchOptions::default().with_parallelism(4))?;
         println!(
             "  {name}: from {} in {:.1} s ({:.1} Mbps)",
             report.chosen_candidate().host_name,

@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A shared event dataset, replicated at THU and HIT.
     for i in 0..4 {
         let lfn = format!("hep/run7/events-{i}");
-        grid.catalog_mut().register_logical(lfn.parse()?, 256 * MB)?;
+        grid.catalog_mut()
+            .register_logical(lfn.parse()?, 256 * MB)?;
         grid.place_replica(&lfn, "alpha4")?;
         grid.place_replica(&lfn, "gridhit0")?;
     }

@@ -29,7 +29,9 @@ fn build_grid(seed: u64) -> Result<DataGrid, Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 2005;
-    let files: Vec<String> = (0..12).map(|i| format!("hep/run42/events-{i:02}")).collect();
+    let files: Vec<String> = (0..12)
+        .map(|i| format!("hep/run42/events-{i:02}"))
+        .collect();
     let file_refs: Vec<&str> = files.iter().map(String::as_str).collect();
     let clients = ["alpha1", "alpha2", "gridhit1", "gridhit3"];
     let trace = RequestTrace::poisson(

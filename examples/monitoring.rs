@@ -2,13 +2,15 @@
 //!
 //! Shows the three data sources of the paper's §3.2 — NWS bandwidth
 //! forecasts, MDS CPU state and sysstat I/O state — evolving on the
-//! simulated testbed, including the `sar`/`iostat`-style reports and the
-//! NWS forecaster battery's dynamic predictor selection.
+//! simulated testbed, including the `sar`/`iostat`-style reports, the
+//! NWS forecaster battery's dynamic predictor selection, and the
+//! observability layer's event bus / metrics exports.
 //!
 //! ```sh
 //! cargo run --example monitoring
 //! ```
 
+use datagrid::obs::{Event, EventBus};
 use datagrid::prelude::*;
 use datagrid::sysmon::sysstat;
 use datagrid::testbed::calibration::Calibration;
@@ -57,25 +59,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lz_host = grid.host(lz02);
     let sar = sysstat::sar_report(lz_host);
     println!("\nsar -u on lz02 (last 3 samples):");
-    for line in sar.lines().take(2).chain(sar.lines().rev().take(4).collect::<Vec<_>>().into_iter().rev()) {
+    for line in sar.lines().take(2).chain(
+        sar.lines()
+            .rev()
+            .take(4)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev(),
+    ) {
         println!("  {line}");
     }
     let iostat = sysstat::iostat_report(lz_host);
     println!("\niostat on lz02 (last 3 samples):");
-    for line in iostat.lines().take(2).chain(iostat.lines().rev().take(3).collect::<Vec<_>>().into_iter().rev()) {
+    for line in iostat.lines().take(2).chain(
+        iostat
+            .lines()
+            .rev()
+            .take(3)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev(),
+    ) {
         println!("  {line}");
     }
 
     // --- sar -n DEV: WAN uplink utilisation from the link trace ---------
     let (to_lizen, _) = sites.lizen_uplink;
     if let Some(trace) = grid.network_trace().link(to_lizen) {
-        let report = sysstat::ifstat_report(
-            "tanet->lizen",
-            trace,
-            Bandwidth::from_mbps(30.0),
-        );
+        let report = sysstat::ifstat_report("tanet->lizen", trace, Bandwidth::from_mbps(30.0));
         println!("\nsar -n DEV on the Li-Zen uplink (last 3 samples):");
-        for line in report.lines().take(2).chain(report.lines().rev().take(3).collect::<Vec<_>>().into_iter().rev()) {
+        for line in report.lines().take(2).chain(
+            report
+                .lines()
+                .rev()
+                .take(3)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev(),
+        ) {
             println!("  {line}");
         }
         println!(
@@ -88,7 +109,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- the factors flowing into the cost model -----------------------
-    grid.catalog_mut().register_logical("demo".parse()?, 64 << 20)?;
+    grid.catalog_mut()
+        .register_logical("demo".parse()?, 64 << 20)?;
     grid.place_replica("demo", "lz02")?;
     grid.place_replica("demo", "gridhit0")?;
     let scored = grid.score_candidates(alpha1, "demo")?;
@@ -96,8 +118,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in &scored {
         println!(
             "  {:<9} BW_P {:.4}  CPU_P {:.3}  IO_P {:.3}  ->  score {:.3}",
-            c.host_name, c.factors.bandwidth_fraction, c.factors.cpu_idle, c.factors.io_idle, c.score,
+            c.host_name,
+            c.factors.bandwidth_fraction,
+            c.factors.cpu_idle,
+            c.factors.io_idle,
+            c.score,
         );
     }
+
+    // --- the observability layer: events, audit, metrics ----------------
+    // Every monitoring action above also produced structured events; run
+    // one real fetch, then stream the retained history through an event
+    // bus into pluggable sinks.
+    let report = grid.fetch(alpha1, "demo")?;
+    println!(
+        "\nfetch demo -> chose {} in {:.1} s; the decision was audited:",
+        report.chosen_candidate().host_name,
+        report.transfer.duration().as_secs_f64(),
+    );
+    if let Some(decision) = grid.audit().last() {
+        print!("{}", decision.render_text());
+    }
+
+    let mut bus = EventBus::new();
+    let mut by_kind = std::collections::BTreeMap::<&'static str, u32>::new();
+    // Sinks are plain closures or writers; this one tallies event kinds.
+    bus.subscribe(move |e: &Event| {
+        *by_kind.entry(e.kind).or_insert(0) += 1;
+        if e.kind == "span.close" || e.kind == "selection.decision" {
+            println!("  bus <- {e}");
+        }
+    });
+    grid.recorder().replay_into(&mut bus);
+    println!(
+        "replayed {} retained events ({} dropped from the ring) through the bus.",
+        grid.recorder().events().len(),
+        grid.recorder().dropped_events(),
+    );
+
+    println!("\nmetrics snapshot (selection + transfer section):");
+    for line in grid
+        .metrics_snapshot()
+        .render_text()
+        .lines()
+        .filter(|l| l.starts_with("selection.") || l.starts_with("transfer.seconds"))
+    {
+        println!("  {line}");
+    }
+    println!("\nfull JSONL dumps: grid.recorder().events_jsonl(), grid.audit().render_jsonl(),");
+    println!("or DATAGRID_OBS_DIR=/tmp/obs cargo run -p datagrid-bench --bin table1");
     Ok(())
 }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.factors.cpu_idle,
             c.factors.io_idle,
             c.score,
-            if i == report.chosen { "   <- chosen" } else { "" },
+            if i == report.chosen {
+                "   <- chosen"
+            } else {
+                ""
+            },
         );
     }
     println!(

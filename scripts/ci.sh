@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The whole CI gate, runnable locally. Operates on the workspace's default
+# members (crates/bench is excluded there; build it explicitly with
+# `cargo build -p datagrid-bench` when working on the reproducers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy -- -D warnings
+
+echo "==> ci OK"

@@ -17,6 +17,7 @@
 //! | host load, sysstat, NWS forecasting, MDS | [`sysmon`] |
 //! | FTP / GridFTP protocol model | [`gridftp`] |
 //! | replica catalog and management | [`catalog`] |
+//! | structured events, metrics, selection audit | [`obs`] |
 //! | cost model, selection policies, DataGrid orchestrator | [`core`] |
 //! | the paper's testbed, workloads, experiment harness | [`testbed`] |
 //!
@@ -44,6 +45,7 @@
 pub use datagrid_catalog as catalog;
 pub use datagrid_core as core;
 pub use datagrid_gridftp as gridftp;
+pub use datagrid_obs as obs;
 pub use datagrid_simnet as simnet;
 pub use datagrid_sysmon as sysmon;
 pub use datagrid_testbed as testbed;

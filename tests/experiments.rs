@@ -172,7 +172,11 @@ fn partial_transfers_move_less() {
         .transfer_between(src, dst, TransferRequest::new(64 * MB))
         .unwrap();
     let partial = grid
-        .transfer_between(src, dst, TransferRequest::new(64 * MB).with_range(MB, 8 * MB))
+        .transfer_between(
+            src,
+            dst,
+            TransferRequest::new(64 * MB).with_range(MB, 8 * MB),
+        )
         .unwrap();
     assert_eq!(partial.payload_bytes, 8 * MB);
     assert!(partial.duration() < full.duration());
@@ -225,7 +229,10 @@ fn control_connection_cache_skips_gsi_on_reuse() {
     let expired = grid.transfer_between(src, dst, req).unwrap();
     let regression =
         expired.control_overhead().as_secs_f64() - second.control_overhead().as_secs_f64();
-    assert!(regression > 0.1, "expired cache must re-authenticate: {regression}");
+    assert!(
+        regression > 0.1,
+        "expired cache must re-authenticate: {regression}"
+    );
 }
 
 /// The parallelism suggestion recovers the Fig. 4 sweet spot per path.

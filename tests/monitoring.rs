@@ -60,7 +60,11 @@ fn battery_scores_are_populated_after_warmup() {
         .nws()
         .sensor(grid.node_of(lz02), grid.node_of(alpha1))
         .unwrap();
-    assert!(sensor.series().len() >= 50, "samples {}", sensor.series().len());
+    assert!(
+        sensor.series().len() >= 50,
+        "samples {}",
+        sensor.series().len()
+    );
     assert!(sensor.battery().selected().is_some());
     let scored: Vec<_> = sensor
         .battery()
@@ -112,7 +116,11 @@ fn sysstat_reports_render_for_all_hosts() {
         let sar = sysstat::sar_report(host);
         assert!(sar.contains(host.name()));
         assert!(sar.contains("%idle"));
-        assert!(sar.lines().count() > 3, "history rendered for {}", host.name());
+        assert!(
+            sar.lines().count() > 3,
+            "history rendered for {}",
+            host.name()
+        );
         let io = sysstat::iostat_report(host);
         assert!(io.contains("%util"));
     }
@@ -125,7 +133,11 @@ fn host_histories_accumulate_bounded_samples() {
     let id = grid.host_id("alpha3").unwrap();
     let history = grid.host(id).history();
     // 10 s interval over 600 s => ~60 samples.
-    assert!((55..=61).contains(&history.len()), "samples {}", history.len());
+    assert!(
+        (55..=61).contains(&history.len()),
+        "samples {}",
+        history.len()
+    );
     assert!(history.windows(2).all(|w| w[0].time < w[1].time));
 }
 

@@ -20,10 +20,14 @@ fn fig3_overhead_constant_across_seeds() {
             let mut grid = warmed(seed, 30);
             let src = grid.host_id("alpha1").unwrap();
             let dst = grid.host_id("gridhit3").unwrap();
-            grid.transfer_between(src, dst, TransferRequest::new(64 * MB).with_protocol(protocol))
-                .unwrap()
-                .duration()
-                .as_secs_f64()
+            grid.transfer_between(
+                src,
+                dst,
+                TransferRequest::new(64 * MB).with_protocol(protocol),
+            )
+            .unwrap()
+            .duration()
+            .as_secs_f64()
         };
         let gap = run(Protocol::GridFtp) - run(Protocol::Ftp);
         assert!((0.0..2.0).contains(&gap), "seed {seed}: gap {gap}");

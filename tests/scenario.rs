@@ -88,8 +88,7 @@ fn parallel_fetch_is_faster_from_the_lossy_site() {
         )
         .unwrap();
     assert!(
-        parallel.transfer.duration().as_secs_f64()
-            < single.transfer.duration().as_secs_f64() * 0.5,
+        parallel.transfer.duration().as_secs_f64() < single.transfer.duration().as_secs_f64() * 0.5,
         "8 streams {} vs 1 {}",
         parallel.transfer.duration(),
         single.transfer.duration()
@@ -103,7 +102,12 @@ fn every_selection_policy_completes_the_scenario() {
         grid.selector_mut().set_policy(policy.clone());
         let client = grid.host_id("alpha2").unwrap();
         let report = grid.fetch(client, "file-a").unwrap();
-        assert_eq!(report.transfer.payload_bytes, 16 * MB, "policy {}", policy.name());
+        assert_eq!(
+            report.transfer.payload_bytes,
+            16 * MB,
+            "policy {}",
+            policy.name()
+        );
     }
 }
 

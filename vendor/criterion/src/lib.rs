@@ -1,0 +1,141 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors just enough of the criterion API for its `harness = false`
+//! benches to compile and produce useful wall-clock numbers:
+//! `Criterion::bench_function`, `benchmark_group` + `sample_size`, the
+//! `criterion_group!` / `criterion_main!` macros, and `Bencher::iter`.
+//! There is no statistical analysis — each sample is timed and the
+//! mean / min / max are printed.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    remaining: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per requested sample. The shim runs one warm-up
+    /// call, then `sample_size` measured calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.remaining {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+        self.remaining = 0;
+    }
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        remaining: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<40} no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().expect("non-empty samples");
+    let max = bencher.samples.iter().max().expect("non-empty samples");
+    println!(
+        "{id:<40} mean {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+        mean,
+        min,
+        max,
+        bencher.samples.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

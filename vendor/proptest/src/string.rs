@@ -1,0 +1,182 @@
+//! Regex-literal string strategies.
+//!
+//! Upstream proptest treats `&str` strategies as full regexes. The tests in
+//! this workspace only use a small subset, which is what is parsed here:
+//! literal characters, character classes with ranges (`[a-zA-Z0-9._-]`),
+//! groups `( .. )`, and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` are capped at 8 repetitions). Anything else — alternation,
+//! escapes, negated classes — panics so an unsupported pattern is loud
+//! rather than silently mis-generated.
+
+use crate::test_runner::TestRng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Seq(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = parse(pattern);
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi) - u64::from(lo) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = u64::from(hi) - u64::from(lo) + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).expect("class range"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of bounds");
+        }
+        Node::Seq(children) => {
+            for child in children {
+                emit(child, rng, out);
+            }
+        }
+        Node::Repeat(child, min, max) => {
+            let count = min + rng.below(u64::from(max - min) + 1) as u32;
+            for _ in 0..count {
+                emit(child, rng, out);
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let mut chars = pattern.chars().peekable();
+    let node = parse_seq(&mut chars, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced ')' in pattern {pattern:?}"
+    );
+    node
+}
+
+fn parse_seq(chars: &mut Peekable<Chars>, pattern: &str) -> Node {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        let atom = match c {
+            '[' => parse_class(chars, pattern),
+            '(' => {
+                chars.next();
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(chars.next(), Some(')'), "unclosed '(' in {pattern:?}");
+                inner
+            }
+            '|' | '\\' | '^' | '$' | '.' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            _ => {
+                chars.next();
+                Node::Lit(c)
+            }
+        };
+        nodes.push(apply_quantifier(atom, chars, pattern));
+    }
+    if nodes.len() == 1 {
+        nodes.pop().expect("single node")
+    } else {
+        Node::Seq(nodes)
+    }
+}
+
+fn parse_class(chars: &mut Peekable<Chars>, pattern: &str) -> Node {
+    assert_eq!(chars.next(), Some('['));
+    assert_ne!(
+        chars.peek(),
+        Some(&'^'),
+        "negated classes unsupported in {pattern:?}"
+    );
+    let mut members = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unclosed '[' in {pattern:?}"));
+        if c == ']' {
+            break;
+        }
+        assert_ne!(c, '\\', "escapes unsupported in {pattern:?}");
+        // A '-' between two members is a range; at either end it is literal.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => members.push((c, c)),
+                Some(&hi) => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= hi, "inverted class range in {pattern:?}");
+                    members.push((c, hi));
+                }
+            }
+        } else {
+            members.push((c, c));
+        }
+    }
+    assert!(!members.is_empty(), "empty class in {pattern:?}");
+    Node::Class(members)
+}
+
+fn apply_quantifier(atom: Node, chars: &mut Peekable<Chars>, pattern: &str) -> Node {
+    const UNBOUNDED_CAP: u32 = 8;
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            chars.next();
+            let mut digits = String::new();
+            let mut upper: Option<String> = None;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => upper = Some(String::new()),
+                    Some(d) if d.is_ascii_digit() => match upper.as_mut() {
+                        Some(hi) => hi.push(d),
+                        None => digits.push(d),
+                    },
+                    other => panic!("bad quantifier {other:?} in {pattern:?}"),
+                }
+            }
+            let min: u32 = digits.parse().expect("quantifier lower bound");
+            let max = match upper {
+                None => min,
+                Some(hi) => hi.parse().expect("quantifier upper bound"),
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}
