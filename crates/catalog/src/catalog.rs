@@ -1,7 +1,7 @@
 //! The replica catalog: logical files, their replicas, and collections.
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::attributes::{AttributeKey, AttributeSet};
 use crate::collection::LogicalCollection;
@@ -43,6 +43,10 @@ impl FileRecord {
 pub struct ReplicaCatalog {
     files: BTreeMap<LogicalFileName, FileRecord>,
     collections: BTreeMap<LogicalFileName, LogicalCollection>,
+    /// Replica locations whose transfers recently failed. A suspect stays
+    /// registered (the data may be intact behind a flapping link) but
+    /// selection should penalise it until the mark is cleared.
+    suspects: BTreeSet<PhysicalFileName>,
     stats: CatalogStats,
 }
 
@@ -314,6 +318,37 @@ impl ReplicaCatalog {
             .collect()
     }
 
+    /// Marks a replica location as suspect after a failed transfer.
+    /// Returns `true` if the mark is new. The replica stays registered —
+    /// suspicion is advisory, for selection to penalise.
+    pub fn mark_suspect(&mut self, location: &PhysicalFileName) -> bool {
+        let fresh = self.suspects.insert(location.clone());
+        if fresh {
+            self.stats.count_mutation();
+        }
+        fresh
+    }
+
+    /// Clears a suspect mark (e.g. after a later transfer from the
+    /// location succeeded). Returns `true` if a mark was present.
+    pub fn clear_suspect(&mut self, location: &PhysicalFileName) -> bool {
+        let present = self.suspects.remove(location);
+        if present {
+            self.stats.count_mutation();
+        }
+        present
+    }
+
+    /// Whether a replica location currently carries a suspect mark.
+    pub fn is_suspect(&self, location: &PhysicalFileName) -> bool {
+        self.suspects.contains(location)
+    }
+
+    /// Number of replica locations currently marked suspect.
+    pub fn suspect_count(&self) -> usize {
+        self.suspects.len()
+    }
+
     /// Number of registered logical files.
     pub fn file_count(&self) -> usize {
         self.files.len()
@@ -489,6 +524,24 @@ mod tests {
             c.unregister_logical(&lfn("file-a")).unwrap_err(),
             CatalogError::UnknownFile { .. }
         ));
+    }
+
+    #[test]
+    fn suspect_marks_are_advisory_and_idempotent() {
+        let mut c = catalog_with_file();
+        let loc = pfn("gsiftp://hit0/data/file-a");
+        c.add_replica(&lfn("file-a"), loc.clone()).unwrap();
+        assert!(!c.is_suspect(&loc));
+        assert!(c.mark_suspect(&loc));
+        assert!(!c.mark_suspect(&loc), "second mark is a no-op");
+        assert!(c.is_suspect(&loc));
+        assert_eq!(c.suspect_count(), 1);
+        // The replica is still registered and listed.
+        assert_eq!(c.replicas(&lfn("file-a")).unwrap().len(), 1);
+        assert!(c.clear_suspect(&loc));
+        assert!(!c.clear_suspect(&loc));
+        assert!(!c.is_suspect(&loc));
+        assert_eq!(c.suspect_count(), 0);
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum GridError {
         /// The physical location in question.
         location: String,
     },
+    /// Every candidate replica was tried and abandoned; the fetch cannot
+    /// complete until a fault clears or a new replica appears.
+    AllReplicasFailed {
+        /// The logical file name.
+        lfn: String,
+        /// Replicas abandoned after their retries were exhausted.
+        failed: Vec<String>,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -42,6 +50,13 @@ impl fmt::Display for GridError {
             }
             GridError::ReplicaOffGrid { location } => {
                 write!(f, "replica location {location} is not on any grid host")
+            }
+            GridError::AllReplicasFailed { lfn, failed } => {
+                write!(
+                    f,
+                    "every replica of {lfn:?} failed (abandoned: {})",
+                    failed.join(", ")
+                )
             }
         }
     }
@@ -84,6 +99,11 @@ mod tests {
         assert!(e.source().is_some());
         let e: GridError = TransferError::InvalidRequest { reason: "x".into() }.into();
         assert!(e.to_string().starts_with("transfer:"));
+        let e = GridError::AllReplicasFailed {
+            lfn: "file-a".into(),
+            failed: vec!["hit0".into(), "lz02".into()],
+        };
+        assert!(e.to_string().contains("hit0, lz02"));
     }
 
     #[test]

@@ -20,7 +20,10 @@ use std::collections::HashMap;
 
 use datagrid_catalog::catalog::ReplicaCatalog;
 use datagrid_catalog::name::{LogicalFileName, PhysicalFileName};
-use datagrid_gridftp::executor::{ProtocolCosts, SessionStatus, TransferEndpoint, TransferSession};
+use datagrid_gridftp::error::TransferError;
+use datagrid_gridftp::executor::{
+    ProtocolCosts, RecoveredTransfer, SessionStatus, TransferEndpoint, TransferSession,
+};
 use datagrid_gridftp::instrument::{protocol_label, span_from_outcome};
 use datagrid_gridftp::transfer::{
     DataChannelProtection, PhaseRecord, Protocol, TransferOutcome, TransferRequest,
@@ -30,6 +33,7 @@ use datagrid_obs::{
 };
 use datagrid_simnet::background::BackgroundProfile;
 use datagrid_simnet::engine::{EventKind, FlowId, FlowSpec, FlowTag, NetSim, SimEvent};
+use datagrid_simnet::fault::FaultPlan;
 use datagrid_simnet::rng::SimRng;
 use datagrid_simnet::tcp::TcpParams;
 use datagrid_simnet::time::{SimDuration, SimTime};
@@ -45,6 +49,7 @@ use crate::cost::{CostModel, Weights};
 use crate::error::GridError;
 use crate::factors::{rank_by_score, CandidateScore, SystemFactors};
 use crate::policy::{ReplicaSelector, SelectionPolicy};
+use crate::recovery::{RecoveredFetch, RecoveryOptions};
 
 /// Histogram bounds (seconds) for whole transfers — the paper's measured
 /// times span roughly a second to a few hundred seconds.
@@ -64,6 +69,15 @@ const TOK_SENTINEL: u64 = 1;
 /// Probe-launch timers: `TOK_PROBE_BASE + pair_index`.
 const TOK_PROBE_BASE: u64 = 1000;
 const SESSION_TOKEN_BASE: u64 = 1 << 20;
+
+/// Multiplier applied to the cost-model score of a replica whose location
+/// is marked suspect in the catalog (a recent transfer from it was
+/// abandoned). The replica stays selectable — it may be the only copy —
+/// but healthy candidates outrank it until the mark is cleared. NWS keeps
+/// reporting the pre-fault bandwidth while a site is dark (probes through
+/// it never complete), so the penalty must be strong enough to demote a
+/// top-scoring site below realistic remote candidates.
+const SUSPECT_SCORE_FACTOR: f64 = 0.15;
 
 /// Options controlling how a fetched replica is transferred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +140,19 @@ impl FetchReport {
     pub fn chosen_candidate(&self) -> &CandidateScore {
         &self.candidates[self.chosen]
     }
+}
+
+/// Outcome of one replica's full retry episode (internal to the recovery
+/// paths): completed, or abandoned with the work totals preserved so a
+/// failover can still account for them.
+enum ReplicaEpisode {
+    Completed(RecoveredTransfer),
+    Abandoned {
+        attempts: u32,
+        delivered: u64,
+        payload_moved: u64,
+        backoff_total: SimDuration,
+    },
 }
 
 struct PendingHost {
@@ -421,6 +448,7 @@ impl GridBuilder {
             },
             next_span_id: 0,
             pending_lfn: None,
+            recovery_rng: root.fork("recovery"),
         }
     }
 }
@@ -458,6 +486,8 @@ pub struct DataGrid {
     next_span_id: u64,
     /// Logical file served by the transfer in flight, for span labelling.
     pending_lfn: Option<String>,
+    /// Jitter source for retry backoff, forked from the grid seed.
+    recovery_rng: SimRng,
 }
 
 impl std::fmt::Debug for DataGrid {
@@ -579,6 +609,8 @@ impl DataGrid {
             s.background_flows_started,
         );
         m.set_counter("simnet.bytes_completed", s.bytes_completed);
+        m.set_counter("simnet.fault_transitions", s.fault_transitions);
+        m.set_counter("simnet.flows_dropped", s.flows_dropped);
         let c = self.catalog.stats();
         m.set_counter("catalog.lookups", c.lookups());
         m.set_counter("catalog.hits", c.hits());
@@ -618,6 +650,21 @@ impl DataGrid {
         let pfn = PhysicalFileName::new(host, format!("/storage/{lfn}"))?;
         self.catalog.add_replica(&name, pfn.clone())?;
         Ok(pfn)
+    }
+
+    /// Installs a deterministic fault schedule on the underlying network.
+    /// Fault transitions are recorded as `fault.*` events and metrics as
+    /// the grid advances through them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references unknown links or nodes, or schedules
+    /// a fault before the current simulated time.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.obs
+            .metrics_mut()
+            .add("fault.scheduled", plan.len() as u64);
+        self.sim.install_fault_plan(plan);
     }
 
     /// Advances simulated time to `until`, running monitoring on the way.
@@ -694,6 +741,170 @@ impl DataGrid {
         req: TransferRequest,
     ) -> Result<TransferOutcome, GridError> {
         self.striped_transfer_between(&[src], dst, req)
+    }
+
+    /// Runs a transfer between two grid hosts with stall detection,
+    /// seeded exponential-backoff retries and MODE E restart-marker
+    /// resume, while monitoring continues. Each retry of a MODE E
+    /// transfer picks up from the last committed byte; stream-mode
+    /// retries restart from zero. Every stall, backoff pause and resume
+    /// is recorded as `transfer.*` events and metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::Transfer`] for invalid requests, or wrapping
+    /// [`TransferError::RetriesExhausted`] when every permitted attempt
+    /// stalled.
+    pub fn transfer_between_with_recovery(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        req: TransferRequest,
+        recovery: &RecoveryOptions,
+    ) -> Result<RecoveredTransfer, GridError> {
+        match self.run_recovery_transfer(src, dst, req, recovery)? {
+            ReplicaEpisode::Completed(rec) => Ok(rec),
+            ReplicaEpisode::Abandoned {
+                attempts,
+                delivered,
+                ..
+            } => Err(GridError::Transfer(TransferError::RetriesExhausted {
+                attempts,
+                delivered,
+            })),
+        }
+    }
+
+    /// One replica's full retry episode: attempts until completion or
+    /// exhaustion, with the per-episode totals kept either way so callers
+    /// (failover) can account for abandoned work.
+    fn run_recovery_transfer(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        req: TransferRequest,
+        recovery: &RecoveryOptions,
+    ) -> Result<ReplicaEpisode, GridError> {
+        req.validate().map_err(GridError::Transfer)?;
+        let base_offset = req.range.map_or(0, |r| r.offset);
+        let total = req.payload_bytes();
+        let protocol = protocol_label(req.protocol);
+        let src_name = self.hosts[src.index()].name().to_string();
+        let dst_name = self.hosts[dst.index()].name().to_string();
+        let cache_key = (self.node_of(dst), self.node_of(src));
+        let tcp = self.tcp_for(self.node_of(src), self.node_of(dst));
+        let mut committed = 0u64;
+        let mut attempts = 0u32;
+        let mut resumed_from = Vec::new();
+        let mut payload_moved = 0u64;
+        let mut backoff_total = SimDuration::ZERO;
+        loop {
+            let attempt_req = if committed == 0 {
+                req
+            } else {
+                req.with_range(base_offset + committed, total - committed)
+            };
+            let base = self.alloc_session_tokens();
+            let cached = self.control_cached(cache_key);
+            let mut session = TransferSession::new(
+                attempt_req,
+                self.endpoint_for(src),
+                self.endpoint_for(dst),
+                tcp,
+                base,
+            )?
+            .with_costs(self.costs)
+            .with_cached_control(cached)
+            .with_stall_timeout(recovery.stall_timeout);
+            attempts += 1;
+            session.start(&mut self.sim);
+            let failure = loop {
+                let ev = self
+                    .sim
+                    .next_event()
+                    .expect("an active session keeps the queue non-empty");
+                if session.owns(&ev) {
+                    match session.handle(&mut self.sim, &ev) {
+                        SessionStatus::Complete(outcome) => {
+                            self.remember_control(cache_key);
+                            payload_moved += outcome.payload_bytes;
+                            self.record_transfer(&src_name, &dst_name, protocol, &outcome);
+                            return Ok(ReplicaEpisode::Completed(RecoveredTransfer {
+                                outcome,
+                                attempts,
+                                resumed_from,
+                                payload_moved,
+                                backoff_total,
+                            }));
+                        }
+                        SessionStatus::Failed(failure) => break failure,
+                        SessionStatus::InProgress => {}
+                    }
+                } else {
+                    let monitor_tick = matches!(ev.kind, EventKind::TimerFired(TOK_MONITOR));
+                    self.handle_internal(&ev);
+                    if monitor_tick {
+                        let fresh = [self.endpoint_for(src)];
+                        let dst_fresh = self.endpoint_for(dst);
+                        session.refresh_endpoints(&mut self.sim, &fresh, dst_fresh);
+                    }
+                }
+            };
+            committed += failure.restart_offset();
+            payload_moved += failure.delivered_payload;
+            self.obs.metrics_mut().inc("transfer.stalls");
+            self.obs.emit(
+                Event::new(failure.at, "gridftp", "transfer.stall")
+                    .with("src", src_name.as_str())
+                    .with("dst", dst_name.as_str())
+                    .with("attempt", attempts)
+                    .with("delivered", failure.delivered_payload)
+                    .with("committed", committed)
+                    .with("resumable", failure.resumable),
+            );
+            if recovery.retry.exhausted(attempts) {
+                self.obs.metrics_mut().inc("transfer.abandoned");
+                self.obs.emit(
+                    Event::new(self.sim.now(), "gridftp", "transfer.abandoned")
+                        .with("src", src_name.as_str())
+                        .with("dst", dst_name.as_str())
+                        .with("attempts", attempts)
+                        .with("delivered", committed),
+                );
+                return Ok(ReplicaEpisode::Abandoned {
+                    attempts,
+                    delivered: committed,
+                    payload_moved,
+                    backoff_total,
+                });
+            }
+            let pause = recovery.retry.backoff(attempts - 1, &mut self.recovery_rng);
+            backoff_total += pause;
+            // The wait token sits in the session range, so a stale firing
+            // after this loop exits is ignored by `handle_internal`.
+            let wait_token = self.alloc_session_tokens();
+            self.sim.schedule_timer_after(pause, wait_token);
+            loop {
+                let ev = self
+                    .sim
+                    .next_event()
+                    .expect("backoff timer keeps the queue non-empty");
+                if ev.kind == EventKind::TimerFired(wait_token) {
+                    break;
+                }
+                self.handle_internal(&ev);
+            }
+            resumed_from.push(committed);
+            self.obs.metrics_mut().inc("transfer.retries");
+            self.obs.emit(
+                Event::new(self.sim.now(), "gridftp", "transfer.retry")
+                    .with("src", src_name.as_str())
+                    .with("dst", dst_name.as_str())
+                    .with("attempt", attempts + 1)
+                    .with("backoff_secs", pause.as_secs_f64())
+                    .with("resume_offset", committed),
+            );
+        }
     }
 
     /// Runs a striped transfer from several stripe servers to one
@@ -898,7 +1109,10 @@ impl DataGrid {
             let node = self.node_of(host_id);
             let is_local = host_id == client;
             let factors = self.gather_factors(node, client_node, &pfn, is_local);
-            let score = self.selector.score(&factors);
+            let mut score = self.selector.score(&factors);
+            if self.catalog.is_suspect(&pfn) {
+                score *= SUSPECT_SCORE_FACTOR;
+            }
             out.push(CandidateScore {
                 host: host_id,
                 host_name: pfn.host().to_string(),
@@ -942,7 +1156,7 @@ impl DataGrid {
         let candidates = self.score_candidates(client, lfn)?;
         let chosen = self.selector.choose(&candidates);
         let decision_latency = self.sim.now() - started;
-        self.record_selection(lfn, client, &candidates, chosen, decision_latency, false);
+        self.record_selection(lfn, client, &candidates, chosen, decision_latency, None);
         let transfer = self.execute_choice(client, lfn, &candidates[chosen], options)?;
         self.attach_measured(&candidates[chosen].host_name, &transfer);
         Ok(FetchReport {
@@ -983,7 +1197,14 @@ impl DataGrid {
                 name: from_host.to_string(),
             })?;
         let decision_latency = self.sim.now() - started;
-        self.record_selection(lfn, client, &candidates, chosen, decision_latency, true);
+        self.record_selection(
+            lfn,
+            client,
+            &candidates,
+            chosen,
+            decision_latency,
+            Some("forced"),
+        );
         let transfer = self.execute_choice(client, lfn, &candidates[chosen], options)?;
         self.attach_measured(&candidates[chosen].host_name, &transfer);
         Ok(FetchReport {
@@ -995,6 +1216,118 @@ impl DataGrid {
             transfer,
             decision_latency,
         })
+    }
+
+    /// The paper's Fig. 1 scenario hardened for faulty grids: catalog
+    /// query, factor gathering, policy choice, then a GridFTP transfer
+    /// with stall detection and retries — and when the chosen replica's
+    /// retries are exhausted, the site is marked suspect in the catalog,
+    /// candidates are re-ranked (suspects are penalised) and the fetch
+    /// fails over to the next-best replica. The whole episode — faults,
+    /// stalls, backoff pauses, failovers and the final winner — is
+    /// recorded through the observability layer.
+    ///
+    /// # Errors
+    ///
+    /// Catalog errors, [`GridError::NoReplicas`],
+    /// [`GridError::ReplicaOffGrid`], transfer errors, or
+    /// [`GridError::AllReplicasFailed`] when every candidate was tried
+    /// and abandoned.
+    pub fn fetch_with_recovery(
+        &mut self,
+        client: HostId,
+        lfn: &str,
+        options: FetchOptions,
+        recovery: &RecoveryOptions,
+    ) -> Result<RecoveredFetch, GridError> {
+        let started = self.sim.now();
+        let latency = self.service_latency(client);
+        self.advance_to(started + latency);
+        let mut candidates = self.score_candidates(client, lfn)?;
+        let mut chosen = self.selector.choose(&candidates);
+        let mut decision_latency = self.sim.now() - started;
+        self.record_selection(lfn, client, &candidates, chosen, decision_latency, None);
+        let mut failed_over: Vec<String> = Vec::new();
+        let mut attempts = 0u32;
+        let mut payload_moved = 0u64;
+        let mut backoff_total = SimDuration::ZERO;
+        loop {
+            let choice = candidates[chosen].clone();
+            match self.execute_choice_with_recovery(client, lfn, &choice, options, recovery)? {
+                ReplicaEpisode::Completed(rec) => {
+                    attempts += rec.attempts;
+                    payload_moved += rec.payload_moved;
+                    backoff_total += rec.backoff_total;
+                    self.attach_measured(&choice.host_name, &rec.outcome);
+                    return Ok(RecoveredFetch {
+                        report: FetchReport {
+                            lfn: LogicalFileName::new(lfn)?,
+                            client: self.hosts[client.index()].name().to_string(),
+                            local_hit: choice.is_local,
+                            candidates,
+                            chosen,
+                            transfer: rec.outcome,
+                            decision_latency,
+                        },
+                        failed_over,
+                        attempts,
+                        payload_moved,
+                        backoff_total,
+                    });
+                }
+                ReplicaEpisode::Abandoned {
+                    attempts: used,
+                    delivered,
+                    payload_moved: moved,
+                    backoff_total: waited,
+                } => {
+                    attempts += used;
+                    payload_moved += moved;
+                    backoff_total += waited;
+                    self.catalog.mark_suspect(&choice.location);
+                    self.obs.metrics_mut().inc("selection.failovers");
+                    self.obs.emit(
+                        Event::new(self.sim.now(), "select", "selection.failover")
+                            .with("lfn", lfn)
+                            .with("abandoned", choice.host_name.as_str())
+                            .with("attempts", used)
+                            .with("delivered", delivered),
+                    );
+                    failed_over.push(choice.host_name.clone());
+                    if failed_over.len() as u64 > u64::from(recovery.max_failovers) {
+                        return Err(GridError::AllReplicasFailed {
+                            lfn: lfn.to_string(),
+                            failed: failed_over,
+                        });
+                    }
+                    // Re-rank: the suspect mark pushes the failed site down,
+                    // and fresh monitoring data may have reshuffled the rest.
+                    let t0 = self.sim.now();
+                    let latency = self.service_latency(client);
+                    self.advance_to(t0 + latency);
+                    candidates = self.score_candidates(client, lfn)?;
+                    decision_latency += self.sim.now() - t0;
+                    let Some(next) = candidates
+                        .iter()
+                        .position(|c| !failed_over.contains(&c.host_name))
+                    else {
+                        return Err(GridError::AllReplicasFailed {
+                            lfn: lfn.to_string(),
+                            failed: failed_over,
+                        });
+                    };
+                    chosen = next;
+                    self.record_selection(
+                        lfn,
+                        client,
+                        &candidates,
+                        chosen,
+                        self.sim.now() - t0,
+                        Some("failover"),
+                    );
+                }
+            }
+        }
     }
 
     /// Suggests a parallel stream count for transfers from `src` to `dst`:
@@ -1059,6 +1392,40 @@ impl DataGrid {
             .with_parallelism(options.parallelism)
             .with_protection(options.protection);
         self.transfer_between(choice.host, client, req)
+    }
+
+    fn execute_choice_with_recovery(
+        &mut self,
+        client: HostId,
+        lfn: &str,
+        choice: &CandidateScore,
+        options: FetchOptions,
+        recovery: &RecoveryOptions,
+    ) -> Result<ReplicaEpisode, GridError> {
+        let name = LogicalFileName::new(lfn)?;
+        let bytes = self
+            .catalog
+            .lookup(&name)
+            .expect("scored candidates imply a registered file")
+            .entry()
+            .size_bytes();
+        self.pending_lfn = Some(lfn.to_string());
+        if choice.is_local {
+            let outcome = self.local_read(client, bytes);
+            let payload_moved = outcome.payload_bytes;
+            return Ok(ReplicaEpisode::Completed(RecoveredTransfer {
+                outcome,
+                attempts: 1,
+                resumed_from: Vec::new(),
+                payload_moved,
+                backoff_total: SimDuration::ZERO,
+            }));
+        }
+        let req = TransferRequest::new(bytes)
+            .with_protocol(options.protocol)
+            .with_parallelism(options.parallelism)
+            .with_protection(options.protection);
+        self.run_recovery_transfer(choice.host, client, req, recovery)
     }
 
     /// A local disk read, synthesised as a one-phase outcome.
@@ -1170,7 +1537,7 @@ impl DataGrid {
         candidates: &[CandidateScore],
         chosen: usize,
         decision_latency: SimDuration,
-        forced: bool,
+        policy_override: Option<&str>,
     ) {
         let now = self.sim.now();
         let picked = &candidates[chosen];
@@ -1190,10 +1557,9 @@ impl DataGrid {
         }
         let w = self.selector.cost_model().weights();
         let client_name = self.hosts[client.index()].name().to_string();
-        let policy = if forced {
-            "forced".to_string()
-        } else {
-            self.selector.policy().name().to_string()
+        let policy = match policy_override {
+            Some(label) => label.to_string(),
+            None => self.selector.policy().name().to_string(),
         };
         let winner = picked.host_name.clone();
         self.obs.emit(
@@ -1291,8 +1657,33 @@ impl DataGrid {
             {
                 self.launch_probe((tok - TOK_PROBE_BASE) as usize);
             }
+            EventKind::TimerFired(tok) if *tok >= SESSION_TOKEN_BASE => {
+                // A stale watchdog or backoff timer from a transfer
+                // session that has already finished; harmless.
+            }
             EventKind::TimerFired(other) => {
                 panic!("orphan timer token {other} reached the grid loop")
+            }
+            EventKind::FaultChanged(notice) => {
+                let label = notice.kind.label();
+                let m = self.obs.metrics_mut();
+                m.inc("fault.transitions");
+                if notice.active || notice.kind.is_instant() {
+                    m.inc(&format!("fault.{label}"));
+                }
+                self.obs.emit(
+                    Event::new(
+                        ev.time,
+                        "fault",
+                        if notice.active || notice.kind.is_instant() {
+                            "fault.start"
+                        } else {
+                            "fault.end"
+                        },
+                    )
+                    .with("kind", label)
+                    .with("index", notice.index),
+                );
             }
             EventKind::FlowCompleted(done) => {
                 let Some((src, dst)) = self.pending_probes.remove(&done.id) else {
@@ -1394,7 +1785,7 @@ mod tests {
     }
 
     /// client --1Gbps-- switch --{fast: 100Mbps | slow: 10Mbps}-- replicas
-    fn small_grid(seed: u64) -> DataGrid {
+    pub(crate) fn small_grid(seed: u64) -> DataGrid {
         let mut b = GridBuilder::new(seed);
         let client = b.add_host(
             HostSpec::new("client").with_cpu(2, 2.0),
@@ -1422,7 +1813,7 @@ mod tests {
         b.build()
     }
 
-    fn with_file(mut grid: DataGrid) -> DataGrid {
+    pub(crate) fn with_file(mut grid: DataGrid) -> DataGrid {
         grid.catalog_mut()
             .register_logical("file-a".parse().unwrap(), 16 * MB)
             .unwrap();
@@ -1768,6 +2159,186 @@ mod tests {
         // Metrics still accrue: they are cheap and always truthful.
         assert_eq!(grid.metrics_snapshot().counter("selection.decisions"), 1);
         assert_eq!(grid.metrics_snapshot().counter("transfer.count.local"), 1);
+    }
+}
+
+#[cfg(test)]
+mod recovery_grid_tests {
+    use super::tests::{small_grid, with_file};
+    use super::*;
+    use crate::recovery::RecoveryOptions;
+    use datagrid_gridftp::retry::RetryPolicy;
+
+    const MB: u64 = 1 << 20;
+
+    fn quick_recovery() -> RecoveryOptions {
+        RecoveryOptions::default()
+            .with_retry(
+                RetryPolicy::default()
+                    .with_max_attempts(2)
+                    .with_base_backoff(SimDuration::from_secs(1))
+                    .with_jitter(0.0),
+            )
+            .with_stall_timeout(SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn suspect_mark_demotes_candidate() {
+        let mut grid = with_file(small_grid(21));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let healthy = grid.score_candidates(client, "file-a").unwrap();
+        assert_eq!(healthy[0].host_name, "fast");
+        let fast_loc = healthy[0].location.clone();
+        grid.catalog_mut().mark_suspect(&fast_loc);
+        let marked = grid.score_candidates(client, "file-a").unwrap();
+        assert_eq!(
+            marked[0].host_name, "slow",
+            "suspect penalty must demote fast below slow"
+        );
+        grid.catalog_mut().clear_suspect(&fast_loc);
+        let cleared = grid.score_candidates(client, "file-a").unwrap();
+        assert_eq!(cleared[0].host_name, "fast");
+        assert_eq!(cleared[0].score, healthy[0].score);
+    }
+
+    #[test]
+    fn clean_fetch_needs_no_recovery() {
+        let mut grid = with_file(small_grid(22));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let rec = grid
+            .fetch_with_recovery(client, "file-a", FetchOptions::default(), &quick_recovery())
+            .unwrap();
+        assert!(rec.clean());
+        assert_eq!(rec.report.chosen_candidate().host_name, "fast");
+        assert_eq!(rec.payload_moved, 16 * MB);
+        assert_eq!(rec.backoff_total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transient_outage_is_retried_on_the_same_replica() {
+        let mut grid = with_file(small_grid(23));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let fast = grid.host_id("fast").unwrap();
+        let fast_node = grid.node_of(fast);
+        // Down for 2 s shortly after the transfer starts; one stall +
+        // one resumed attempt fits inside the 2-attempt budget.
+        grid.install_fault_plan(FaultPlan::new().host_blackout(
+            SimTime::from_secs_f64(121.0),
+            SimDuration::from_secs(2),
+            fast_node,
+        ));
+        let rec = grid
+            .fetch_with_recovery(
+                client,
+                "file-a",
+                FetchOptions::default().with_parallelism(4),
+                &quick_recovery(),
+            )
+            .unwrap();
+        assert!(rec.attempts >= 2, "{rec:?}");
+        assert!(rec.failed_over.is_empty(), "no failover needed");
+        assert_eq!(rec.report.chosen_candidate().host_name, "fast");
+        // MODE E markers: nothing is re-sent.
+        assert_eq!(rec.payload_moved, 16 * MB);
+        let m = grid.metrics_snapshot();
+        assert!(m.counter("transfer.stalls") >= 1);
+        assert!(m.counter("transfer.retries") >= 1);
+        assert_eq!(m.counter("fault.host_blackout"), 1);
+        let kinds: Vec<&str> = grid.recorder().events().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"fault.start"));
+        assert!(kinds.contains(&"fault.end"));
+        assert!(kinds.contains(&"transfer.stall"));
+        assert!(kinds.contains(&"transfer.retry"));
+    }
+
+    #[test]
+    fn dead_replica_fails_over_to_next_best() {
+        let mut grid = with_file(small_grid(24));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let fast = grid.host_id("fast").unwrap();
+        let fast_node = grid.node_of(fast);
+        // Fast goes dark for a long time: retries exhaust, then the
+        // fetch must complete from the slow replica.
+        grid.install_fault_plan(FaultPlan::new().host_blackout(
+            SimTime::from_secs_f64(121.0),
+            SimDuration::from_secs(10_000),
+            fast_node,
+        ));
+        let rec = grid
+            .fetch_with_recovery(
+                client,
+                "file-a",
+                FetchOptions::default().with_parallelism(4),
+                &quick_recovery(),
+            )
+            .unwrap();
+        assert_eq!(rec.failed_over, vec!["fast".to_string()]);
+        assert_eq!(rec.report.chosen_candidate().host_name, "slow");
+        assert_eq!(rec.report.transfer.payload_bytes, 16 * MB);
+        assert!(rec.attempts >= 3, "2 on fast + at least 1 on slow");
+        // The abandoned site is now suspect in the catalog.
+        let fast_loc = rec
+            .report
+            .candidates
+            .iter()
+            .find(|c| c.host_name == "fast")
+            .unwrap()
+            .location
+            .clone();
+        assert!(grid.catalog().is_suspect(&fast_loc));
+        let m = grid.metrics_snapshot();
+        assert_eq!(m.counter("selection.failovers"), 1);
+        assert!(m.counter("transfer.abandoned") >= 1);
+        // The audit holds both the original decision and the failover
+        // re-selection, with the failover policy labelled.
+        let audit = grid.audit();
+        assert!(audit.len() >= 2);
+        let last = audit.last().unwrap();
+        assert_eq!(last.policy, "failover");
+        assert_eq!(last.winner, "slow");
+        let kinds: Vec<&str> = grid.recorder().events().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"selection.failover"));
+    }
+
+    #[test]
+    fn all_replicas_dead_is_reported() {
+        let mut grid = with_file(small_grid(25));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let fast_node = grid.node_of(grid.host_id("fast").unwrap());
+        let slow_node = grid.node_of(grid.host_id("slow").unwrap());
+        grid.install_fault_plan(
+            FaultPlan::new()
+                .host_blackout(
+                    SimTime::from_secs_f64(121.0),
+                    SimDuration::from_secs(100_000),
+                    fast_node,
+                )
+                .host_blackout(
+                    SimTime::from_secs_f64(121.0),
+                    SimDuration::from_secs(100_000),
+                    slow_node,
+                ),
+        );
+        let err = grid
+            .fetch_with_recovery(
+                client,
+                "file-a",
+                FetchOptions::default().with_parallelism(4),
+                &quick_recovery(),
+            )
+            .unwrap_err();
+        match err {
+            GridError::AllReplicasFailed { lfn, failed } => {
+                assert_eq!(lfn, "file-a");
+                assert_eq!(failed.len(), 2);
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 }
 

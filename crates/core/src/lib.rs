@@ -47,6 +47,7 @@ pub mod grid;
 pub mod history;
 pub mod job;
 pub mod policy;
+pub mod recovery;
 pub mod replication;
 pub mod tuning;
 
@@ -55,6 +56,7 @@ pub use error::GridError;
 pub use factors::{CandidateScore, SystemFactors};
 pub use grid::{DataGrid, FetchOptions, FetchReport, GridBuilder};
 pub use policy::{ReplicaSelector, SelectionPolicy};
+pub use recovery::{RecoveredFetch, RecoveryOptions};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -65,10 +67,13 @@ pub mod prelude {
     pub use crate::history::CostHistory;
     pub use crate::job::{JobReport, JobSpec};
     pub use crate::policy::{ReplicaSelector, SelectionPolicy};
+    pub use crate::recovery::{RecoveredFetch, RecoveryOptions};
     pub use crate::replication::{ReplicationAdvice, ReplicationManager, ReplicationStrategy};
     pub use crate::tuning::{Observation, WeightTuner};
+    pub use datagrid_gridftp::retry::RetryPolicy;
     pub use datagrid_obs::{
         CandidateAudit, Event, EventBus, JsonlSink, MetricsRegistry, Recorder, SelectionAuditLog,
         SelectionDecision, TextSink, TransferSpan,
     };
+    pub use datagrid_simnet::fault::{FaultKind, FaultPlan};
 }

@@ -1,0 +1,138 @@
+//! Failure recovery for grid fetches: retry policy, stall detection and
+//! next-best-replica failover.
+//!
+//! The paper's scenario assumes the chosen replica server stays healthy
+//! for the whole transfer. Under injected faults (see
+//! `datagrid_simnet::fault`) that assumption breaks, and the client walks
+//! a recovery ladder instead:
+//!
+//! 1. a stalled transfer is detected by a watchdog after
+//!    [`RecoveryOptions::stall_timeout`] of zero progress,
+//! 2. the session is retried against the *same* replica with exponential
+//!    backoff, resuming from the last MODE E restart marker
+//!    ([`RetryPolicy`]),
+//! 3. when retries are exhausted the replica is marked *suspect* in the
+//!    catalog, candidates are re-ranked (suspects are penalised) and the
+//!    fetch fails over to the next-best replica, up to
+//!    [`RecoveryOptions::max_failovers`] times.
+//!
+//! Every rung is recorded through the observability layer as events,
+//! metrics and audit entries, so a fault episode can be reconstructed
+//! from the exports alone.
+
+use datagrid_gridftp::retry::RetryPolicy;
+use datagrid_simnet::time::SimDuration;
+
+use crate::grid::FetchReport;
+
+/// How a fetch survives stalled transfers and dead replicas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryOptions {
+    /// Per-replica retry schedule (attempt cap, backoff, jitter).
+    pub retry: RetryPolicy,
+    /// How long a transfer may make zero progress before the watchdog
+    /// declares it stalled.
+    pub stall_timeout: SimDuration,
+    /// How many times the fetch may abandon a replica and fail over to
+    /// the next-ranked candidate.
+    pub max_failovers: u32,
+}
+
+impl Default for RecoveryOptions {
+    /// Four attempts per replica, a 5 s stall watchdog and up to three
+    /// failovers — enough to walk the whole paper testbed.
+    fn default() -> Self {
+        RecoveryOptions {
+            retry: RetryPolicy::default(),
+            stall_timeout: SimDuration::from_secs(5),
+            max_failovers: 3,
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// Sets the per-replica retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the stall watchdog interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn with_stall_timeout(mut self, timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "stall timeout must be positive");
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Sets the failover cap.
+    pub fn with_max_failovers(mut self, max_failovers: u32) -> Self {
+        self.max_failovers = max_failovers;
+        self
+    }
+}
+
+/// A [`FetchReport`] plus the recovery history that produced it (see
+/// [`DataGrid::fetch_with_recovery`](crate::grid::DataGrid::fetch_with_recovery)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredFetch {
+    /// The completed fetch, with candidates re-ranked as of the final,
+    /// successful selection.
+    pub report: FetchReport,
+    /// Hosts abandoned after their retries were exhausted, in the order
+    /// they failed.
+    pub failed_over: Vec<String>,
+    /// GridFTP sessions started across all replicas, including the first.
+    pub attempts: u32,
+    /// Payload bytes moved over the wire across every attempt, counting
+    /// bytes that a restart later threw away.
+    pub payload_moved: u64,
+    /// Total simulated time spent waiting in backoff pauses.
+    pub backoff_total: SimDuration,
+}
+
+impl RecoveredFetch {
+    /// Number of replicas abandoned before the fetch succeeded.
+    pub fn failovers(&self) -> usize {
+        self.failed_over.len()
+    }
+
+    /// `true` when the first-choice replica delivered the file with no
+    /// retries and no failover.
+    pub fn clean(&self) -> bool {
+        self.attempts == 1 && self.failed_over.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = RecoveryOptions::default();
+        assert_eq!(opts.retry.max_attempts, 4);
+        assert_eq!(opts.max_failovers, 3);
+        assert!(!opts.stall_timeout.is_zero());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let opts = RecoveryOptions::default()
+            .with_retry(RetryPolicy::no_retries())
+            .with_stall_timeout(SimDuration::from_secs(1))
+            .with_max_failovers(1);
+        assert_eq!(opts.retry.max_attempts, 1);
+        assert_eq!(opts.stall_timeout, SimDuration::from_secs(1));
+        assert_eq!(opts.max_failovers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall timeout")]
+    fn zero_stall_timeout_rejected() {
+        let _ = RecoveryOptions::default().with_stall_timeout(SimDuration::ZERO);
+    }
+}

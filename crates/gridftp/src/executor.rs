@@ -12,13 +12,15 @@
 use std::collections::HashMap;
 
 use datagrid_simnet::engine::{EventKind, FlowId, FlowSpec, NetSim, SimEvent};
+use datagrid_simnet::rng::SimRng;
 use datagrid_simnet::tcp::TcpParams;
-use datagrid_simnet::time::SimTime;
+use datagrid_simnet::time::{SimDuration, SimTime};
 use datagrid_simnet::topology::{Bandwidth, NodeId};
 
 use crate::error::TransferError;
 use crate::gsi::GsiConfig;
 use crate::mode::TransferMode;
+use crate::retry::RetryPolicy;
 use crate::session::ControlScript;
 use crate::transfer::{PhaseRecord, TransferOutcome, TransferRequest};
 
@@ -124,6 +126,35 @@ pub enum SessionStatus {
     InProgress,
     /// The transfer finished; here is the outcome.
     Complete(TransferOutcome),
+    /// The transfer stalled past its stall timeout (see
+    /// [`TransferSession::with_stall_timeout`]) and tore itself down.
+    Failed(TransferFailure),
+}
+
+/// Why and where a session gave up (see [`SessionStatus::Failed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferFailure {
+    /// Payload bytes of this attempt already committed by restart markers
+    /// when the session was torn down.
+    pub delivered_payload: u64,
+    /// `true` when the transfer ran in MODE E, whose per-block restart
+    /// markers let a new session resume from `delivered_payload`. Stream
+    /// mode has no markers: a retry restarts from byte zero.
+    pub resumable: bool,
+    /// When the stall was declared.
+    pub at: SimTime,
+}
+
+impl TransferFailure {
+    /// The byte offset a retry should resume from: the committed payload
+    /// for a MODE E transfer, zero for stream mode.
+    pub fn restart_offset(&self) -> u64 {
+        if self.resumable {
+            self.delivered_payload
+        } else {
+            0
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +182,9 @@ pub struct TransferSession {
     control_node: NodeId,
     cached_control: bool,
     token_base: u64,
+    /// When set, a watchdog timer fires every interval during the data
+    /// phase; if every data flow has stalled (zero rate) the session fails.
+    stall_timeout: Option<SimDuration>,
     state: State,
     started: SimTime,
     phases: Vec<PhaseRecord>,
@@ -176,6 +210,7 @@ impl TransferSession {
     const TOK_CONTROL: u64 = 0;
     const TOK_RAMP: u64 = 1;
     const TOK_COMPLETION: u64 = 2;
+    const TOK_WATCHDOG: u64 = 3;
     /// Tokens consumed per session; callers allocating token ranges for
     /// several sessions should space bases at least this far apart.
     pub const TOKENS_PER_SESSION: u64 = 4;
@@ -236,6 +271,7 @@ impl TransferSession {
             control_node,
             cached_control: false,
             token_base,
+            stall_timeout: None,
             state: State::Idle,
             started: SimTime::ZERO,
             phases: Vec::new(),
@@ -266,6 +302,21 @@ impl TransferSession {
     /// Overrides the protocol cost constants.
     pub fn with_costs(mut self, costs: ProtocolCosts) -> Self {
         self.costs = costs;
+        self
+    }
+
+    /// Arms a stall watchdog: during the data phase a timer fires every
+    /// `timeout`; if at that instant *every* data flow is rate-zero (link
+    /// down, host blacked out, connection reset) the session aborts its
+    /// flows and reports [`SessionStatus::Failed`] carrying the restart
+    /// marker. Detection latency is therefore at most one `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn with_stall_timeout(mut self, timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "stall timeout must be positive");
+        self.stall_timeout = Some(timeout);
         self
     }
 
@@ -325,6 +376,9 @@ impl TransferSession {
                 (self.token_base..self.token_base + Self::TOKENS_PER_SESSION).contains(token)
             }
             EventKind::FlowCompleted(done) => self.active_flows.contains_key(&done.id),
+            // Fault transitions are broadcast; the driver reacts, not the
+            // session (its watchdog notices the consequences).
+            EventKind::FaultChanged(_) => false,
         }
     }
 
@@ -337,6 +391,11 @@ impl TransferSession {
     /// [`TransferSession::start`].
     pub fn handle(&mut self, sim: &mut NetSim, event: &SimEvent) -> SessionStatus {
         assert!(self.owns(event), "event does not belong to this session");
+        // The watchdog token is handled out of band: it may legitimately
+        // fire in any state (it re-arms during data and goes stale after).
+        if event.kind == EventKind::TimerFired(self.token_base + Self::TOK_WATCHDOG) {
+            return self.handle_watchdog(sim, event.time);
+        }
         match (&self.state, &event.kind) {
             (State::Control, EventKind::TimerFired(_)) => {
                 self.phases.push(PhaseRecord {
@@ -362,6 +421,9 @@ impl TransferSession {
             (State::RampUp, EventKind::TimerFired(_)) => {
                 self.start_data_flows(sim);
                 self.state = State::Data;
+                if let Some(timeout) = self.stall_timeout {
+                    sim.schedule_timer_after(timeout, self.token_base + Self::TOK_WATCHDOG);
+                }
                 // Mark the data phase as starting at control end (the ramp
                 // is part of moving data).
                 let data_start = self.phases.last().expect("control recorded").end;
@@ -406,6 +468,33 @@ impl TransferSession {
             }
             (state, kind) => panic!("unexpected event {kind:?} in state {state:?}"),
         }
+    }
+
+    /// One watchdog tick. In the data phase: declare failure if every flow
+    /// has stalled, otherwise re-arm. In any other state the tick is stale
+    /// (the phase it guarded already ended) and is ignored.
+    fn handle_watchdog(&mut self, sim: &mut NetSim, now: SimTime) -> SessionStatus {
+        if self.state != State::Data {
+            return SessionStatus::InProgress;
+        }
+        let stalled = !self.active_flows.is_empty()
+            && self
+                .active_flows
+                .keys()
+                .all(|&id| sim.flow_rate(id).is_none_or(|r| r.as_bps() <= 1e-6));
+        if stalled {
+            let resumable = self.req.effective_mode().is_extended();
+            let delivered_payload = self.abort(sim);
+            return SessionStatus::Failed(TransferFailure {
+                delivered_payload,
+                resumable,
+                at: now,
+            });
+        }
+        if let Some(timeout) = self.stall_timeout {
+            sim.schedule_timer_after(timeout, self.token_base + Self::TOK_WATCHDOG);
+        }
+        SessionStatus::InProgress
     }
 
     fn finish_data(&mut self, sim: &mut NetSim, now: SimTime) {
@@ -596,6 +685,118 @@ pub fn run_striped_transfer(
         if let SessionStatus::Complete(outcome) = session.handle(sim, &event) {
             return Ok(outcome);
         }
+    }
+}
+
+/// The result of a transfer that may have needed retries (see
+/// [`run_transfer_with_recovery`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredTransfer {
+    /// Outcome of the final, successful attempt.
+    pub outcome: TransferOutcome,
+    /// Sessions started, including the first.
+    pub attempts: u32,
+    /// The restart offset each retry resumed from (empty when the first
+    /// attempt succeeded; zeros when stream mode forced full restarts).
+    pub resumed_from: Vec<u64>,
+    /// Payload bytes delivered across every attempt, counting bytes a
+    /// stream-mode restart later threw away — equals the request payload
+    /// exactly when MODE E restart markers avoided all re-transmission.
+    pub payload_moved: u64,
+    /// Total time spent waiting in backoff pauses.
+    pub backoff_total: SimDuration,
+}
+
+/// Runs a transfer with stall detection and seeded exponential-backoff
+/// retries on a simulator with no other foreground activity. Each retry of
+/// a MODE E transfer resumes from the last restart marker; stream-mode
+/// retries restart from byte zero.
+///
+/// # Errors
+///
+/// Any [`TransferError`] from request validation, or
+/// [`TransferError::RetriesExhausted`] when every permitted attempt
+/// stalled.
+///
+/// # Panics
+///
+/// Panics if the endpoints are unroutable.
+#[allow(clippy::too_many_arguments)] // mirrors run_transfer plus the recovery knobs
+pub fn run_transfer_with_recovery(
+    sim: &mut NetSim,
+    req: &TransferRequest,
+    src: &TransferEndpoint,
+    dst: &TransferEndpoint,
+    tcp: &TcpParams,
+    policy: &RetryPolicy,
+    stall_timeout: SimDuration,
+    rng: &mut SimRng,
+) -> Result<RecoveredTransfer, TransferError> {
+    // Token bases disjoint from both run_transfer and the Data Grid layer;
+    // each attempt gets its own range so stale watchdogs never collide.
+    const RECOVERY_SESSION_TOKENS: u64 = 1 << 41;
+    const RECOVERY_WAIT_TOKENS: u64 = 1 << 42;
+    req.validate()?;
+    let base_offset = req.range.map_or(0, |r| r.offset);
+    let total = req.payload_bytes();
+    let mut committed = 0u64;
+    let mut attempts = 0u32;
+    let mut resumed_from = Vec::new();
+    let mut payload_moved = 0u64;
+    let mut backoff_total = SimDuration::ZERO;
+    loop {
+        let attempt_req = if committed == 0 {
+            *req
+        } else {
+            req.with_range(base_offset + committed, total - committed)
+        };
+        let token_base =
+            RECOVERY_SESSION_TOKENS + u64::from(attempts) * TransferSession::TOKENS_PER_SESSION;
+        let mut session = TransferSession::new(attempt_req, *src, *dst, *tcp, token_base)?
+            .with_stall_timeout(stall_timeout);
+        attempts += 1;
+        session.start(sim);
+        let failure = loop {
+            let event = sim
+                .next_event()
+                .expect("recovery session always has pending work");
+            if !session.owns(&event) {
+                continue; // stale watchdogs of earlier attempts, fault notices
+            }
+            match session.handle(sim, &event) {
+                SessionStatus::Complete(outcome) => {
+                    payload_moved += outcome.payload_bytes;
+                    return Ok(RecoveredTransfer {
+                        outcome,
+                        attempts,
+                        resumed_from,
+                        payload_moved,
+                        backoff_total,
+                    });
+                }
+                SessionStatus::Failed(failure) => break failure,
+                SessionStatus::InProgress => {}
+            }
+        };
+        committed += failure.restart_offset();
+        payload_moved += failure.delivered_payload;
+        if policy.exhausted(attempts) {
+            return Err(TransferError::RetriesExhausted {
+                attempts,
+                delivered: committed,
+            });
+        }
+        let pause = policy.backoff(attempts - 1, rng);
+        backoff_total += pause;
+        let wait_token = RECOVERY_WAIT_TOKENS + u64::from(attempts);
+        sim.schedule_timer_after(pause, wait_token);
+        loop {
+            let event = sim.next_event().expect("backoff timer is pending");
+            if event.kind == EventKind::TimerFired(wait_token) {
+                break;
+            }
+        }
+        resumed_from.push(committed);
     }
 }
 
@@ -1096,6 +1297,174 @@ mod restart_tests {
         }
         // All payload was delivered, nothing active remains.
         assert_eq!(session.abort(&mut sim), MB);
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use datagrid_simnet::fault::FaultPlan;
+    use datagrid_simnet::topology::{LinkId, LinkSpec, Topology};
+
+    const MB: u64 = 1 << 20;
+
+    /// a --80Mbps-- b, plus the a->b directed link id.
+    fn net() -> (NetSim, NodeId, NodeId, LinkId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let (fwd, _) = t.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(Bandwidth::from_mbps(80.0), SimDuration::from_millis(5)),
+        );
+        (NetSim::new(t, 1), a, b, fwd)
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default()
+            .with_base_backoff(SimDuration::from_secs(2))
+            .with_jitter(0.0)
+    }
+
+    fn recover(
+        sim: &mut NetSim,
+        req: &TransferRequest,
+        a: NodeId,
+        b: NodeId,
+        policy: &RetryPolicy,
+        seed: u64,
+    ) -> Result<RecoveredTransfer, TransferError> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        run_transfer_with_recovery(
+            sim,
+            req,
+            &TransferEndpoint::unconstrained(a),
+            &TransferEndpoint::unconstrained(b),
+            &TcpParams::default(),
+            policy,
+            SimDuration::from_secs(1),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn outage_is_survived_by_resuming_from_restart_marker() {
+        let (mut sim, a, b, fwd) = net();
+        // 64 MiB at 80 Mbps needs ~6.7 s of data time; a 3 s outage at 2 s
+        // forces one stall + one resumed attempt.
+        sim.install_fault_plan(FaultPlan::new().link_down(
+            SimTime::from_secs_f64(2.0),
+            SimDuration::from_secs(3),
+            fwd,
+        ));
+        let req = TransferRequest::new(64 * MB).with_parallelism(4);
+        let rec = recover(&mut sim, &req, a, b, &policy(), 7).expect("recovers");
+        assert!(rec.attempts >= 2, "must have retried: {rec:?}");
+        assert_eq!(rec.payload_moved, 64 * MB, "markers avoid re-sending");
+        assert!(!rec.resumed_from.is_empty());
+        assert!(
+            rec.resumed_from.iter().all(|&o| o > 0),
+            "MODE E resumes mid-file: {:?}",
+            rec.resumed_from
+        );
+        assert!(rec.backoff_total > SimDuration::ZERO);
+        // The final attempt only moved the tail.
+        assert!(rec.outcome.payload_bytes < 64 * MB);
+    }
+
+    #[test]
+    fn stream_mode_restarts_from_zero_and_moves_more_bytes() {
+        let outage = |req: TransferRequest| {
+            let (mut sim, a, b, fwd) = net();
+            sim.install_fault_plan(FaultPlan::new().link_down(
+                SimTime::from_secs_f64(2.0),
+                SimDuration::from_secs(3),
+                fwd,
+            ));
+            recover(&mut sim, &req, a, b, &policy(), 7).expect("recovers")
+        };
+        let mode_e = outage(TransferRequest::new(64 * MB).with_parallelism(4));
+        let stream = outage(TransferRequest::new(64 * MB));
+        assert!(stream.attempts >= 2);
+        assert!(
+            stream.resumed_from.iter().all(|&o| o == 0),
+            "stream mode has no restart markers: {:?}",
+            stream.resumed_from
+        );
+        // The acceptance property: a resumed MODE E episode moves strictly
+        // fewer total bytes than restart-from-zero.
+        assert!(
+            mode_e.payload_moved < stream.payload_moved,
+            "resume {} vs restart {}",
+            mode_e.payload_moved,
+            stream.payload_moved
+        );
+        assert_eq!(stream.outcome.payload_bytes, 64 * MB, "full re-transfer");
+    }
+
+    #[test]
+    fn permanent_outage_exhausts_retries() {
+        let (mut sim, a, b, fwd) = net();
+        sim.install_fault_plan(FaultPlan::new().link_down(
+            SimTime::from_secs_f64(2.0),
+            SimDuration::from_secs(100_000),
+            fwd,
+        ));
+        let req = TransferRequest::new(64 * MB).with_parallelism(4);
+        let err = recover(&mut sim, &req, a, b, &policy().with_max_attempts(2), 7).unwrap_err();
+        match err {
+            TransferError::RetriesExhausted {
+                attempts,
+                delivered,
+            } => {
+                assert_eq!(attempts, 2);
+                assert!(delivered > 0, "first attempt committed a prefix");
+                assert!(delivered < 64 * MB);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn connection_drop_is_detected_and_retried() {
+        let (mut sim, a, b, _) = net();
+        sim.install_fault_plan(FaultPlan::new().connection_drop(SimTime::from_secs_f64(2.0), b));
+        // 64 MiB at 80 Mbps takes ~6.7 s, so the drop at 2 s lands mid-data.
+        let req = TransferRequest::new(64 * MB).with_parallelism(2);
+        let rec = recover(&mut sim, &req, a, b, &policy(), 3).expect("recovers");
+        assert!(rec.attempts >= 2, "drop must force a retry");
+        assert!(rec.payload_moved >= 64 * MB);
+    }
+
+    #[test]
+    fn recovery_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (mut sim, a, b, fwd) = net();
+            sim.install_fault_plan(FaultPlan::new().link_down(
+                SimTime::from_secs_f64(2.0),
+                SimDuration::from_secs(3),
+                fwd,
+            ));
+            let req = TransferRequest::new(64 * MB).with_parallelism(4);
+            recover(&mut sim, &req, a, b, &RetryPolicy::default(), seed).expect("recovers")
+        };
+        assert_eq!(run(11), run(11));
+        let a = run(11);
+        let b = run(12);
+        // Different jitter draws shift the retry instant.
+        assert!(a == b || a.backoff_total != b.backoff_total || a.outcome != b.outcome);
+    }
+
+    #[test]
+    fn clean_path_needs_no_retries() {
+        let (mut sim, a, b, _) = net();
+        let req = TransferRequest::new(16 * MB).with_parallelism(2);
+        let rec = recover(&mut sim, &req, a, b, &policy(), 1).expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert!(rec.resumed_from.is_empty());
+        assert_eq!(rec.backoff_total, SimDuration::ZERO);
+        assert_eq!(rec.payload_moved, 16 * MB);
     }
 }
 

@@ -47,21 +47,30 @@ pub mod executor;
 pub mod gsi;
 pub mod instrument;
 pub mod mode;
+pub mod retry;
 pub mod session;
 pub mod transfer;
 
 pub use error::TransferError;
-pub use executor::{run_transfer, TransferEndpoint, TransferSession};
+pub use executor::{
+    run_transfer, run_transfer_with_recovery, RecoveredTransfer, TransferEndpoint, TransferFailure,
+    TransferSession,
+};
 pub use mode::TransferMode;
+pub use retry::RetryPolicy;
 pub use transfer::{DataChannelProtection, Protocol, TransferOutcome, TransferRequest};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::error::TransferError;
-    pub use crate::executor::{run_transfer, SessionStatus, TransferEndpoint, TransferSession};
+    pub use crate::executor::{
+        run_transfer, run_transfer_with_recovery, RecoveredTransfer, SessionStatus,
+        TransferEndpoint, TransferFailure, TransferSession,
+    };
     pub use crate::gsi::GsiConfig;
     pub use crate::instrument::{protocol_label, span_from_outcome};
     pub use crate::mode::TransferMode;
+    pub use crate::retry::RetryPolicy;
     pub use crate::session::{ControlScript, ControlStep};
     pub use crate::transfer::{DataChannelProtection, Protocol, TransferOutcome, TransferRequest};
 }

@@ -142,10 +142,15 @@ impl TransferRequest {
     ///
     /// # Errors
     ///
-    /// [`TransferError::InvalidRequest`] for FTP with GridFTP-only
-    /// features, zero-size MODE E blocks or absurd stream counts;
-    /// [`TransferError::RangeOutOfBounds`] for a bad partial range.
+    /// [`TransferError::InvalidRequest`] for zero-byte files, FTP with
+    /// GridFTP-only features, zero-size MODE E blocks or absurd stream
+    /// counts; [`TransferError::RangeOutOfBounds`] for a bad partial range.
     pub fn validate(&self) -> Result<(), TransferError> {
+        if self.file_bytes == 0 {
+            return Err(TransferError::InvalidRequest {
+                reason: "zero-byte transfer has nothing to move".into(),
+            });
+        }
         if self.protocol == Protocol::Ftp {
             if self.parallelism > 0 {
                 return Err(TransferError::InvalidRequest {
@@ -341,6 +346,20 @@ mod tests {
             TransferRequest::new(100).with_range(50, 25).payload_bytes(),
             25
         );
+    }
+
+    #[test]
+    fn zero_byte_transfer_rejected() {
+        // Regression: a zero-byte request used to pass validation and then
+        // walk the whole session state machine for nothing.
+        let err = TransferRequest::new(0).validate().unwrap_err();
+        assert!(matches!(err, TransferError::InvalidRequest { .. }));
+        assert!(err.to_string().contains("zero-byte"));
+        // A zero-length range was already rejected; make sure it stays so.
+        assert!(TransferRequest::new(100)
+            .with_range(10, 0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 use crate::background::BackgroundProfile;
 use crate::event::EventQueue;
+use crate::fault::{FaultKind, FaultPlan, ScheduledFault};
 use crate::flow::{max_min_allocation, FlowDemand};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -150,6 +151,21 @@ pub enum EventKind {
     /// A timer scheduled with [`NetSim::schedule_timer`] fired; carries the
     /// caller's token.
     TimerFired(u64),
+    /// An injected fault started or cleared (see
+    /// [`NetSim::install_fault_plan`]).
+    FaultChanged(FaultNotice),
+}
+
+/// Public notification of a fault transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultNotice {
+    /// Index of the fault in installation order (unique per simulation).
+    pub index: usize,
+    /// What the fault does.
+    pub kind: FaultKind,
+    /// `true` when the fault just started, `false` when it cleared.
+    /// Instant faults (connection drops) only ever report `true`.
+    pub active: bool,
 }
 
 /// Progress snapshot of an active flow (see [`NetSim::abort_flow`]).
@@ -182,6 +198,13 @@ enum Internal {
     Completion { flow: FlowId, epoch: u64 },
     Timer { token: u64 },
     BackgroundArrival { profile: usize },
+    FaultTransition { index: usize, start: bool },
+}
+
+#[derive(Debug, Clone)]
+struct FaultRecord {
+    fault: ScheduledFault,
+    active: bool,
 }
 
 /// Lifetime counters of one [`NetSim`] — how much work the engine has
@@ -201,6 +224,10 @@ pub struct EngineStats {
     pub background_flows_started: u64,
     /// Payload bytes of completed user/probe flows.
     pub bytes_completed: u64,
+    /// Fault start/clear transitions applied from installed fault plans.
+    pub fault_transitions: u64,
+    /// Flows (any class) reset by [`crate::fault::FaultKind::ConnectionDrop`].
+    pub flows_dropped: u64,
 }
 
 /// The discrete-event network simulator.
@@ -222,6 +249,7 @@ pub struct NetSim {
     pending_timers: usize,
     rng_root: SimRng,
     background: Vec<(BackgroundProfile, SimRng)>,
+    faults: Vec<FaultRecord>,
 }
 
 impl NetSim {
@@ -249,6 +277,7 @@ impl NetSim {
             pending_timers: 0,
             rng_root: SimRng::seed_from_u64(seed),
             background: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -310,6 +339,116 @@ impl NetSim {
         self.background.push((profile, rng));
         self.queue
             .push(first, Internal::BackgroundArrival { profile: idx });
+    }
+
+    /// Installs a fault plan: every scheduled fault is applied at its start
+    /// time and reverted at its end time, with a
+    /// [`EventKind::FaultChanged`] notification for each transition.
+    ///
+    /// Multiple plans may be installed; faults compose (capacity factors
+    /// multiply on overlapping windows). Fault transitions alone do not
+    /// count as public work: like background traffic, a simulation with
+    /// only faults pending reports no events from [`NetSim::next_event`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault is scheduled in the simulated past or references a
+    /// link or node outside the topology.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for f in plan.iter() {
+            assert!(
+                f.at >= self.now,
+                "fault scheduled in the past: {} < {}",
+                f.at,
+                self.now
+            );
+            match f.kind {
+                FaultKind::LinkDown { link } | FaultKind::LinkBrownout { link, .. } => {
+                    assert!(link.index() < self.link_caps.len(), "unknown link {link}");
+                }
+                FaultKind::HostBlackout { node }
+                | FaultKind::HostDegraded { node, .. }
+                | FaultKind::ConnectionDrop { node } => {
+                    assert!(node.index() < self.topo.node_count(), "unknown node {node}");
+                }
+            }
+        }
+        for fault in plan.into_faults() {
+            let index = self.faults.len();
+            self.queue
+                .push(fault.at, Internal::FaultTransition { index, start: true });
+            if !fault.kind.is_instant() {
+                self.queue.push(
+                    fault.ends(),
+                    Internal::FaultTransition {
+                        index,
+                        start: false,
+                    },
+                );
+            }
+            self.faults.push(FaultRecord {
+                fault,
+                active: false,
+            });
+        }
+    }
+
+    /// The current effective capacity of a directed link, after any active
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    pub fn link_capacity(&self, link: LinkId) -> Bandwidth {
+        Bandwidth::from_bps(self.link_caps[link.index()])
+    }
+
+    /// Number of faults currently active.
+    pub fn active_fault_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.active).count()
+    }
+
+    /// Recomputes every link's effective capacity as its nominal capacity
+    /// times the product of all active fault factors touching it.
+    fn apply_fault_capacities(&mut self) {
+        for i in 0..self.link_caps.len() {
+            self.link_caps[i] = self.topo.link_spec(LinkId(i as u32)).capacity.as_bps();
+        }
+        let active: Vec<FaultKind> = self
+            .faults
+            .iter()
+            .filter(|f| f.active)
+            .map(|f| f.fault.kind)
+            .collect();
+        for kind in active {
+            match kind {
+                FaultKind::LinkDown { link } => self.link_caps[link.index()] = 0.0,
+                FaultKind::LinkBrownout { link, factor } => {
+                    self.link_caps[link.index()] *= factor;
+                }
+                FaultKind::HostBlackout { node } => {
+                    for l in self.links_touching(node) {
+                        self.link_caps[l.index()] = 0.0;
+                    }
+                }
+                FaultKind::HostDegraded { node, factor } => {
+                    for l in self.links_touching(node) {
+                        self.link_caps[l.index()] *= factor;
+                    }
+                }
+                FaultKind::ConnectionDrop { .. } => {}
+            }
+        }
+    }
+
+    fn links_touching(&self, node: NodeId) -> Vec<LinkId> {
+        (0..self.link_caps.len() as u32)
+            .map(LinkId)
+            .filter(|&l| {
+                let (from, to) = self.topo.link_endpoints(l);
+                from == node || to == node
+            })
+            .collect()
     }
 
     /// Starts a flow now; returns its id. Completion is announced through
@@ -575,7 +714,39 @@ impl NetSim {
                     .push(next, Internal::BackgroundArrival { profile });
                 let _ = self.start_flow(spec);
             }
+            Internal::FaultTransition { index, start } => {
+                self.settle();
+                self.stats.fault_transitions += 1;
+                let kind = self.faults[index].fault.kind;
+                self.faults[index].active = start && !kind.is_instant();
+                if let FaultKind::ConnectionDrop { node } = kind {
+                    self.drop_connections_through(node);
+                }
+                self.apply_fault_capacities();
+                self.reallocate();
+                self.pending.push_back(SimEvent {
+                    time: self.now,
+                    kind: EventKind::FaultChanged(FaultNotice {
+                        index,
+                        kind,
+                        active: start,
+                    }),
+                });
+            }
         }
+    }
+
+    /// Removes every active flow whose source, destination or route touches
+    /// `node`. Reset flows vanish without a completion event — exactly like
+    /// a TCP connection killed by a crashing peer; drivers detect the loss
+    /// through their own timeouts.
+    fn drop_connections_through(&mut self, node: NodeId) {
+        let touching = self.links_touching(node);
+        let before = self.flows.len();
+        self.flows.retain(|f| {
+            !(f.src == node || f.dst == node || f.route.iter().any(|l| touching.contains(l)))
+        });
+        self.stats.flows_dropped += (before - self.flows.len()) as u64;
     }
 
     /// Advances every active flow's byte counter to `self.now`.
@@ -938,20 +1109,223 @@ mod tests {
         let mut completions = 0;
         while let Some(ev) = sim.next_event() {
             match ev.kind {
-                EventKind::TimerFired(_) => {
-                    if started < sizes.len() {
-                        sim.start_flow(FlowSpec::new(a, c, sizes[started]));
-                        started += 1;
-                        sim.schedule_timer_after(SimDuration::from_millis(100), 100);
-                    }
+                EventKind::TimerFired(_) if started < sizes.len() => {
+                    sim.start_flow(FlowSpec::new(a, c, sizes[started]));
+                    started += 1;
+                    sim.schedule_timer_after(SimDuration::from_millis(100), 100);
                 }
                 EventKind::FlowCompleted(d) => {
                     total_done += d.bytes;
                     completions += 1;
                 }
+                _ => {}
             }
         }
         assert_eq!(completions, sizes.len());
         assert_eq!(total_done, sizes.iter().sum::<u64>());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::topology::LinkSpec;
+
+    fn mbps(m: f64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    /// a --100Mbps-- b --100Mbps-- c
+    fn line() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(mbps(100.0), SimDuration::from_millis(1)),
+        );
+        t.add_duplex_link(
+            b,
+            c,
+            LinkSpec::new(mbps(100.0), SimDuration::from_millis(1)),
+        );
+        (t, a, b, c)
+    }
+
+    fn drain(sim: &mut NetSim) -> Vec<SimEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = sim.next_event() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn link_down_stalls_then_flow_recovers() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 1);
+        let path = sim.routing().path(a, c).unwrap().clone();
+        let first = path.links()[0];
+        // Alone the 12.5 MB flow takes 1 s; a 2 s outage starting at 0.5 s
+        // (half the bytes already delivered) pushes completion to 3.0 s.
+        sim.install_fault_plan(FaultPlan::new().link_down(
+            SimTime::from_secs_f64(0.5),
+            SimDuration::from_secs(2),
+            first,
+        ));
+        sim.start_flow(FlowSpec::new(a, c, 12_500_000));
+        let events = drain(&mut sim);
+        let fault_changes: Vec<&SimEvent> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FaultChanged(_)))
+            .collect();
+        assert_eq!(fault_changes.len(), 2, "start + clear");
+        let EventKind::FaultChanged(start) = &fault_changes[0].kind else {
+            unreachable!()
+        };
+        assert!(start.active);
+        assert_eq!(start.kind, FaultKind::LinkDown { link: first });
+        let done = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::FlowCompleted(d) => Some(d.clone()),
+                _ => None,
+            })
+            .expect("flow completes after fault clears");
+        assert!(
+            (done.finished.as_secs_f64() - 3.0).abs() < 1e-6,
+            "finished at {}",
+            done.finished
+        );
+        assert_eq!(sim.stats().fault_transitions, 2);
+        assert_eq!(sim.active_fault_count(), 0);
+    }
+
+    #[test]
+    fn brownout_scales_capacity_and_restores() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 1);
+        let path = sim.routing().path(a, c).unwrap().clone();
+        let first = path.links()[0];
+        let nominal = sim.link_capacity(first);
+        // 50% brown-out over [0.5 s, 1.5 s]: 6.25 MB done by 0.5 s, then
+        // 6.25 MB/s for 1 s (6.25 MB), done exactly at 1.5 s.
+        sim.install_fault_plan(FaultPlan::new().link_brownout(
+            SimTime::from_secs_f64(0.5),
+            SimDuration::from_secs(1),
+            first,
+            0.5,
+        ));
+        sim.start_flow(FlowSpec::new(a, c, 12_500_000));
+        let events = drain(&mut sim);
+        let done = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::FlowCompleted(d) => Some(d.clone()),
+                _ => None,
+            })
+            .expect("completes");
+        assert!(
+            (done.finished.as_secs_f64() - 1.5).abs() < 1e-6,
+            "finished at {}",
+            done.finished
+        );
+        assert_eq!(sim.link_capacity(first), nominal, "capacity restored");
+    }
+
+    #[test]
+    fn host_blackout_kills_all_incident_links() {
+        let (t, a, b, c) = line();
+        let mut sim = NetSim::new(t, 1);
+        sim.install_fault_plan(FaultPlan::new().host_blackout(
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            b,
+        ));
+        sim.schedule_timer(SimTime::from_secs_f64(1.0), 1);
+        let ev = sim.next_event().unwrap();
+        assert!(matches!(ev.kind, EventKind::FaultChanged(n) if n.active));
+        assert_eq!(sim.active_fault_count(), 1);
+        // Every path crosses b, so no bandwidth is available anywhere.
+        assert_eq!(sim.available_bandwidth(a, c, None), Bandwidth::ZERO);
+        assert_eq!(sim.available_bandwidth(c, a, None), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn connection_drop_resets_flows_without_completion() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 1);
+        sim.install_fault_plan(FaultPlan::new().connection_drop(SimTime::from_secs_f64(0.5), c));
+        let id = sim.start_flow(FlowSpec::new(a, c, 12_500_000));
+        sim.schedule_timer(SimTime::from_secs_f64(2.0), 9);
+        let events = drain(&mut sim);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::FlowCompleted(_))),
+            "reset flow must not complete: {events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FaultChanged(n) if n.active)));
+        assert_eq!(sim.stats().flows_dropped, 1);
+        assert_eq!(sim.flow_rate(id), None);
+        assert_eq!(sim.active_fault_count(), 0, "connection drops are instant");
+    }
+
+    #[test]
+    fn overlapping_faults_compose_and_unwind() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 1);
+        let path = sim.routing().path(a, c).unwrap().clone();
+        let first = path.links()[0];
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .link_brownout(
+                    SimTime::from_secs_f64(1.0),
+                    SimDuration::from_secs(4),
+                    first,
+                    0.5,
+                )
+                .link_brownout(
+                    SimTime::from_secs_f64(2.0),
+                    SimDuration::from_secs(1),
+                    first,
+                    0.5,
+                ),
+        );
+        let at = |secs: f64, sim: &mut NetSim| {
+            sim.schedule_timer(SimTime::from_secs_f64(secs), 0);
+            while let Some(ev) = sim.next_event() {
+                if matches!(ev.kind, EventKind::TimerFired(0)) {
+                    break;
+                }
+            }
+        };
+        at(1.5, &mut sim);
+        assert!((sim.link_capacity(first).as_mbps() - 50.0).abs() < 1e-9);
+        at(2.5, &mut sim);
+        assert!((sim.link_capacity(first).as_mbps() - 25.0).abs() < 1e-9);
+        at(3.5, &mut sim);
+        assert!((sim.link_capacity(first).as_mbps() - 50.0).abs() < 1e-9);
+        at(5.5, &mut sim);
+        assert!((sim.link_capacity(first).as_mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault scheduled in the past")]
+    fn past_fault_rejected() {
+        let (t, _, b, _) = line();
+        let mut sim = NetSim::new(t, 1);
+        sim.schedule_timer(SimTime::from_secs_f64(1.0), 0);
+        while sim.next_event().is_some() {}
+        sim.install_fault_plan(FaultPlan::new().host_blackout(
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            b,
+        ));
     }
 }

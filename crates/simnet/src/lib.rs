@@ -46,6 +46,7 @@
 pub mod background;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod rng;
 pub mod stats;
@@ -54,7 +55,10 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{EventKind, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent};
+pub use engine::{
+    EventKind, FaultNotice, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent,
+};
+pub use fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
 
@@ -62,8 +66,10 @@ pub use topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
 pub mod prelude {
     pub use crate::background::{BackgroundProfile, BackgroundTraffic};
     pub use crate::engine::{
-        EngineStats, EventKind, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent,
+        EngineStats, EventKind, FaultNotice, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim,
+        SimEvent,
     };
+    pub use crate::fault::{FaultKind, FaultPlan, ScheduledFault};
     pub use crate::rng::SimRng;
     pub use crate::stats::{OnlineStats, TimeWeightedMean};
     pub use crate::tcp::TcpParams;

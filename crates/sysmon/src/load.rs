@@ -284,10 +284,13 @@ mod tests {
         let mut saw_busy = false;
         let mut saw_idle = false;
         for _ in 0..500 {
-            match p.advance() {
-                x if x == 0.9 => saw_busy = true,
-                x if x == 0.1 => saw_idle = true,
-                other => panic!("unexpected level {other}"),
+            let level = p.advance();
+            if level == 0.9 {
+                saw_busy = true;
+            } else if level == 0.1 {
+                saw_idle = true;
+            } else {
+                panic!("unexpected level {level}");
             }
         }
         assert!(saw_busy && saw_idle);

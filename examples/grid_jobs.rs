@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10}  {}",
-        "host", "stage-in", "compute", "total", "data %", "input came from"
+        "{:<10} {:>10} {:>10} {:>10} {:>10}  input came from",
+        "host", "stage-in", "compute", "total", "data %"
     );
     for (host, slice) in placements {
         let client = grid.host_id(host).expect("testbed host");

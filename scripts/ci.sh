@@ -1,20 +1,40 @@
 #!/usr/bin/env bash
 # The whole CI gate, runnable locally. Operates on the workspace's default
-# members (crates/bench is excluded there; build it explicitly with
-# `cargo build -p datagrid-bench` when working on the reproducers).
+# members plus an explicit `crates/bench` build (bench is excluded from the
+# default members so plain `cargo test` stays fast).
+#
+# Each step runs through `step`, which echoes its wall-clock time so slow
+# stages are visible at a glance both locally and in the Actions log.
+# Run a single step with e.g. `scripts/ci.sh test`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+step() {
+  local name="$1"
+  shift
+  echo "==> ${name}: $*"
+  local t0
+  t0=$(date +%s)
+  "$@"
+  echo "==> ${name} OK ($(($(date +%s) - t0)) s)"
+}
 
-echo "==> cargo test -q"
-cargo test -q
+step_build() { step build cargo build --release; }
+step_bench_build() { step bench-build cargo build -p datagrid-bench; }
+step_test() { step test cargo test -q; }
+step_fmt() { step fmt cargo fmt --check; }
+step_clippy() { step clippy cargo clippy --all-targets -- -D warnings; }
 
-echo "==> cargo fmt --check"
-cargo fmt --check
-
-echo "==> cargo clippy -- -D warnings"
-cargo clippy -- -D warnings
+if [ $# -gt 0 ]; then
+  for sel in "$@"; do
+    "step_${sel//-/_}"
+  done
+else
+  step_build
+  step_bench_build
+  step_test
+  step_fmt
+  step_clippy
+fi
 
 echo "==> ci OK"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI smoke: run the Table 1 reproducers (healthy and fault-injected) with
+# the observability dump enabled, then assert the exports are non-empty
+# and machine-parseable. Catches "the bin runs but the dumps rotted"
+# regressions that unit tests cannot see.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OBS_DIR="${1:-target/smoke-obs}"
+rm -rf "$OBS_DIR"
+
+echo "==> smoke: table1 + table1_fault with DATAGRID_OBS_DIR=$OBS_DIR"
+DATAGRID_OBS_DIR="$OBS_DIR" cargo run -q --release -p datagrid-bench --bin table1
+DATAGRID_OBS_DIR="$OBS_DIR" cargo run -q --release -p datagrid-bench --bin table1_fault
+
+check_nonempty() {
+  [ -s "$1" ] || { echo "smoke FAIL: $1 is missing or empty" >&2; exit 1; }
+}
+
+check_jsonl() {
+  check_nonempty "$1"
+  python3 - "$1" <<'PY'
+import json, sys
+path = sys.argv[1]
+with open(path) as fh:
+    lines = [line for line in fh if line.strip()]
+if not lines:
+    sys.exit(f"smoke FAIL: {path} has no records")
+for n, line in enumerate(lines, 1):
+    try:
+        json.loads(line)
+    except ValueError as err:
+        sys.exit(f"smoke FAIL: {path}:{n} is not JSON: {err}")
+print(f"    {path}: {len(lines)} records OK")
+PY
+}
+
+for label in table1 table1_fault; do
+  echo "==> smoke: validating $OBS_DIR/$label.*"
+  check_nonempty "$OBS_DIR/$label.metrics.txt"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OBS_DIR/$label.metrics.json"
+  check_jsonl "$OBS_DIR/$label.events.jsonl"
+  check_jsonl "$OBS_DIR/$label.audit.jsonl"
+done
+
+# The fault run must have actually recorded the recovery episode.
+grep -q '"kind":"selection.failover"' "$OBS_DIR/table1_fault.events.jsonl" \
+  || { echo "smoke FAIL: fault run recorded no failover event" >&2; exit 1; }
+
+echo "==> smoke OK"

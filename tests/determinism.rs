@@ -129,3 +129,67 @@ fn observability_exports_are_byte_identical_across_runs() {
     assert!(a.2.lines().count() > 10);
     assert!(a.0.contains("transfer.seconds"));
 }
+
+#[test]
+fn fault_recovery_exports_are_byte_identical_across_runs() {
+    // Same seed + same fault plan => the whole recovery episode (stalls,
+    // backoff pauses, failover, re-ranking) replays byte-for-byte.
+    let run = |seed: u64| {
+        let mut grid = paper_testbed(seed).build();
+        grid.catalog_mut()
+            .register_logical("file-f".parse().unwrap(), 256 * MB)
+            .unwrap();
+        for host in ["alpha4", "hit0", "lz02"] {
+            grid.place_replica("file-f", canonical_host(host)).unwrap();
+        }
+        grid.warm_up(SimDuration::from_secs(180));
+        let client = grid.host_id("alpha1").unwrap();
+        let top = grid.score_candidates(client, "file-f").unwrap()[0].clone();
+        grid.install_fault_plan(FaultPlan::new().host_blackout(
+            grid.now() + SimDuration::from_secs(1),
+            SimDuration::from_secs(10_000),
+            grid.node_of(top.host),
+        ));
+        let recovery = RecoveryOptions::default()
+            .with_retry(
+                RetryPolicy::default()
+                    .with_max_attempts(2)
+                    .with_base_backoff(SimDuration::from_secs(1)),
+            )
+            .with_stall_timeout(SimDuration::from_secs(1));
+        grid.fetch_with_recovery(
+            client,
+            "file-f",
+            FetchOptions::default().with_parallelism(4),
+            &recovery,
+        )
+        .expect("failover completes the fetch");
+        let metrics = grid.metrics_snapshot();
+        (
+            metrics.render_text(),
+            metrics.render_json(),
+            grid.recorder().events_jsonl(),
+            grid.audit().render_jsonl(),
+        )
+    };
+    let a = run(611);
+    let b = run(611);
+    assert_eq!(a.0, b.0, "metrics text export must be byte-identical");
+    assert_eq!(a.1, b.1, "metrics JSON export must be byte-identical");
+    assert_eq!(a.2, b.2, "event JSONL export must be byte-identical");
+    assert_eq!(a.3, b.3, "audit JSONL export must be byte-identical");
+    // The exports actually contain the fault episode, not just the fetch.
+    for kind in [
+        "fault.start",
+        "transfer.stall",
+        "transfer.retry",
+        "transfer.abandoned",
+        "selection.failover",
+    ] {
+        assert!(a.2.contains(kind), "event export is missing {kind}");
+    }
+    assert!(
+        a.3.contains("failover"),
+        "audit export records the failover"
+    );
+}

@@ -82,6 +82,58 @@ fn table1_ordering_across_seeds() {
 }
 
 #[test]
+fn failover_reaches_the_next_best_replica_across_seeds() {
+    // The recovery ladder is not a lucky-seed artefact: whichever way the
+    // background load falls, a dead top-ranked replica ends with the same
+    // qualitative outcome — alpha4 abandoned, gridhit0 delivers.
+    for seed in SEEDS {
+        let mut grid = paper_testbed(seed).build();
+        grid.catalog_mut()
+            .register_logical("file-a".parse().unwrap(), 256 * MB)
+            .unwrap();
+        for host in ["alpha4", "hit0", "lz02"] {
+            grid.place_replica("file-a", canonical_host(host)).unwrap();
+        }
+        grid.warm_up(SimDuration::from_secs(180));
+        let client = grid.host_id("alpha1").unwrap();
+        let alpha4 = grid.host_id("alpha4").unwrap();
+        grid.install_fault_plan(FaultPlan::new().host_blackout(
+            grid.now() + SimDuration::from_secs(1),
+            SimDuration::from_secs(10_000),
+            grid.node_of(alpha4),
+        ));
+        let recovery = RecoveryOptions::default()
+            .with_retry(
+                RetryPolicy::default()
+                    .with_max_attempts(2)
+                    .with_base_backoff(SimDuration::from_secs(1)),
+            )
+            .with_stall_timeout(SimDuration::from_secs(1));
+        let rec = grid
+            .fetch_with_recovery(
+                client,
+                "file-a",
+                FetchOptions::default().with_parallelism(4),
+                &recovery,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: failover should succeed, got {e}"));
+        assert_eq!(rec.failed_over, vec!["alpha4".to_string()], "seed {seed}");
+        assert_eq!(
+            rec.report.chosen_candidate().host_name,
+            "gridhit0",
+            "seed {seed}: failover should land on the next-ranked site"
+        );
+        assert_eq!(rec.report.transfer.payload_bytes, 256 * MB, "seed {seed}");
+        assert!(
+            rec.payload_moved >= 256 * MB,
+            "seed {seed}: moved {} of {}",
+            rec.payload_moved,
+            256 * MB
+        );
+    }
+}
+
+#[test]
 fn cost_model_beats_random_across_seeds() {
     for seed in [3u64, 77] {
         let build = || {
