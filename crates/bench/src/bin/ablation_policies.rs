@@ -11,6 +11,7 @@ use datagrid_core::grid::FetchOptions;
 use datagrid_core::policy::SelectionPolicy;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::{selection_quality, TextTable};
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 use datagrid_testbed::workload::RequestTrace;
 
@@ -20,7 +21,10 @@ fn main() {
 
     let mut table = TextTable::new(["policy", "oracle accuracy", "mean regret", "mean fetch (s)"]);
 
-    for policy in SelectionPolicy::all() {
+    // Each policy runs on its own freshly built grid, so the sweep fans
+    // out across workers; par_map keeps rows in input order
+    // (byte-identical to serial).
+    let rows = par_map(SelectionPolicy::all().to_vec(), |policy| {
         let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(300));
         grid.catalog_mut()
             .register_logical("file-p".parse().expect("valid lfn"), 256 * MB)
@@ -42,12 +46,15 @@ fn main() {
             policy,
             FetchOptions::default().with_parallelism(4),
         );
-        table.row([
+        [
             stats.policy.to_string(),
             format!("{:.2}", stats.oracle_accuracy),
             format!("{:.2}", stats.mean_regret),
             format!("{:.1}", stats.mean_duration_s),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
 
     print!("{}", table.render());

@@ -12,6 +12,7 @@ use datagrid_core::grid::FetchOptions;
 use datagrid_core::replication::{ReplicationManager, ReplicationStrategy};
 use datagrid_simnet::time::{SimDuration, SimTime};
 use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 use datagrid_testbed::workload::RequestTrace;
 
@@ -53,7 +54,10 @@ fn main() {
         "replicas created",
     ]);
 
-    for (label, strategy) in strategies {
+    // Each strategy replays the trace on its own grid, so the three
+    // strategies fan out across workers; par_map keeps rows in input
+    // order (byte-identical to serial).
+    let rows = par_map(strategies.to_vec(), |(label, strategy)| {
         let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(300));
         for f in &files {
             grid.catalog_mut()
@@ -88,13 +92,16 @@ fn main() {
             }
         }
         let mean = durations.iter().sum::<f64>() / durations.len().max(1) as f64;
-        table.row([
+        [
             label.to_string(),
             format!("{}", durations.len()),
             format!("{mean:.1}"),
             format!("{local_hits}"),
             format!("{created}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
 
     print!("{}", table.render());

@@ -22,6 +22,7 @@ use datagrid_simnet::topology::{Bandwidth, LinkSpec};
 use datagrid_sysmon::host::HostSpec;
 use datagrid_sysmon::load::LoadModel;
 use datagrid_testbed::experiment::{selection_quality, TextTable};
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::workload::RequestTrace;
 
 /// A star grid: one client site plus `sites` heterogeneous replica sites.
@@ -96,64 +97,23 @@ fn main() {
         "mean fetch (s)",
     ]);
 
+    // One cell per (site count, policy) plus a tuned-weights cell per site
+    // count. Every cell builds its own grid from the seed, so cells fan out
+    // across workers; par_map returns rows in input order, byte-identical
+    // to the serial sweep.
+    let mut cells: Vec<(usize, Option<SelectionPolicy>)> = Vec::new();
     for sites in [3usize, 6, 12] {
         for policy in [
             SelectionPolicy::CostModel,
             SelectionPolicy::BandwidthOnly,
             SelectionPolicy::Random,
         ] {
-            let mut grid = synthetic_grid(sites, seed);
-            let trace = RequestTrace::poisson(
-                &["client"],
-                &["file-s"],
-                1.0 / 90.0,
-                SimDuration::from_secs(1500),
-                seed ^ sites as u64,
-            );
-            let stats = selection_quality(
-                &mut grid,
-                &trace,
-                policy,
-                FetchOptions::default().with_parallelism(4),
-            );
-            table.row([
-                format!("{sites}"),
-                stats.policy.to_string(),
-                format!("{:.2}", stats.oracle_accuracy),
-                format!("{:.2}", stats.mean_regret),
-                format!("{:.1}", stats.mean_duration_s),
-            ]);
+            cells.push((sites, Some(policy)));
         }
+        cells.push((sites, None)); // auto-tuned weights
+    }
 
-        // Cost model with per-environment auto-tuned weights (future work
-        // #2 applied to future work #3).
-        let mut grid = synthetic_grid(sites, seed);
-        let client = grid.host_id("client").expect("client host");
-        let mut tuner = WeightTuner::new();
-        for _ in 0..2 {
-            grid.warm_up(SimDuration::from_secs(60));
-            for c in grid
-                .score_candidates(client, "file-s")
-                .expect("scoring succeeds")
-            {
-                let mut probe = grid.clone();
-                let secs = probe
-                    .fetch_from(
-                        client,
-                        "file-s",
-                        &c.host_name,
-                        FetchOptions::default().with_parallelism(4),
-                    )
-                    .expect("oracle fetch")
-                    .transfer
-                    .duration()
-                    .as_secs_f64();
-                tuner.record(Observation::new(c.factors, secs));
-            }
-        }
-        let (weights, _) = tuner.tune(10).expect("enough observations");
-        let mut grid = synthetic_grid(sites, seed);
-        grid.selector_mut().set_cost_model(CostModel::new(weights));
+    let rows = par_map(cells, |(sites, policy)| -> [String; 5] {
         let trace = RequestTrace::poisson(
             &["client"],
             &["file-s"],
@@ -161,22 +121,74 @@ fn main() {
             SimDuration::from_secs(1500),
             seed ^ sites as u64,
         );
-        let stats = selection_quality(
-            &mut grid,
-            &trace,
-            SelectionPolicy::CostModel,
-            FetchOptions::default().with_parallelism(4),
-        );
-        table.row([
-            format!("{sites}"),
-            format!(
-                "tuned ({:.2}/{:.2}/{:.2})",
-                weights.bandwidth, weights.cpu, weights.io
-            ),
-            format!("{:.2}", stats.oracle_accuracy),
-            format!("{:.2}", stats.mean_regret),
-            format!("{:.1}", stats.mean_duration_s),
-        ]);
+        match policy {
+            Some(policy) => {
+                let mut grid = synthetic_grid(sites, seed);
+                let stats = selection_quality(
+                    &mut grid,
+                    &trace,
+                    policy,
+                    FetchOptions::default().with_parallelism(4),
+                );
+                [
+                    format!("{sites}"),
+                    stats.policy.to_string(),
+                    format!("{:.2}", stats.oracle_accuracy),
+                    format!("{:.2}", stats.mean_regret),
+                    format!("{:.1}", stats.mean_duration_s),
+                ]
+            }
+            None => {
+                // Cost model with per-environment auto-tuned weights
+                // (future work #2 applied to future work #3).
+                let mut grid = synthetic_grid(sites, seed);
+                let client = grid.host_id("client").expect("client host");
+                let mut tuner = WeightTuner::new();
+                for _ in 0..2 {
+                    grid.warm_up(SimDuration::from_secs(60));
+                    for c in grid
+                        .score_candidates(client, "file-s")
+                        .expect("scoring succeeds")
+                    {
+                        let mut probe = grid.clone();
+                        let secs = probe
+                            .fetch_from(
+                                client,
+                                "file-s",
+                                &c.host_name,
+                                FetchOptions::default().with_parallelism(4),
+                            )
+                            .expect("oracle fetch")
+                            .transfer
+                            .duration()
+                            .as_secs_f64();
+                        tuner.record(Observation::new(c.factors, secs));
+                    }
+                }
+                let (weights, _) = tuner.tune(10).expect("enough observations");
+                let mut grid = synthetic_grid(sites, seed);
+                grid.selector_mut().set_cost_model(CostModel::new(weights));
+                let stats = selection_quality(
+                    &mut grid,
+                    &trace,
+                    SelectionPolicy::CostModel,
+                    FetchOptions::default().with_parallelism(4),
+                );
+                [
+                    format!("{sites}"),
+                    format!(
+                        "tuned ({:.2}/{:.2}/{:.2})",
+                        weights.bandwidth, weights.cpu, weights.io
+                    ),
+                    format!("{:.2}", stats.oracle_accuracy),
+                    format!("{:.2}", stats.mean_regret),
+                    format!("{:.1}", stats.mean_duration_s),
+                ]
+            }
+        }
+    });
+    for row in rows {
+        table.row(row);
     }
 
     print!("{}", table.render());

@@ -12,6 +12,7 @@ use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
 use datagrid_gridftp::transfer::{DataChannelProtection, Protocol, TransferRequest};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 
 fn main() {
@@ -46,23 +47,32 @@ fn main() {
         ),
     ];
 
-    for (label, protocol, protection) in cases {
-        let run = |src_name: &str| {
-            let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
-            let src = grid.host_id(canonical_host(src_name)).expect("host");
-            let dst = grid.host_id("alpha1").expect("alpha1");
-            let req = TransferRequest::new(256 * MB)
-                .with_protocol(protocol)
-                .with_protection(protection);
-            grid.transfer_between(src, dst, req)
-                .expect("transfer runs")
-                .duration()
-                .as_secs_f64()
-        };
+    // Two independent transfers per configuration (fresh grid each), so
+    // the whole case x source sweep fans out across workers; par_map
+    // keeps results in input order.
+    let cells: Vec<(Protocol, DataChannelProtection, &str)> = cases
+        .iter()
+        .flat_map(|&(_, protocol, protection)| {
+            ["hit0", "alpha4"].map(|src| (protocol, protection, src))
+        })
+        .collect();
+    let secs = par_map(cells, |(protocol, protection, src_name)| {
+        let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
+        let src = grid.host_id(canonical_host(src_name)).expect("host");
+        let dst = grid.host_id("alpha1").expect("alpha1");
+        let req = TransferRequest::new(256 * MB)
+            .with_protocol(protocol)
+            .with_protection(protection);
+        grid.transfer_between(src, dst, req)
+            .expect("transfer runs")
+            .duration()
+            .as_secs_f64()
+    });
+    for ((label, _, _), pair) in cases.iter().zip(secs.chunks(2)) {
         table.row([
             label.to_string(),
-            format!("{:.1}", run("hit0")),
-            format!("{:.1}", run("alpha4")),
+            format!("{:.1}", pair[0]),
+            format!("{:.1}", pair[1]),
         ]);
     }
 

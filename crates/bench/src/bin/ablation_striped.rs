@@ -12,6 +12,7 @@ use datagrid_gridftp::transfer::TransferRequest;
 use datagrid_simnet::time::SimDuration;
 use datagrid_sysmon::host::HostId;
 use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::par::par_map;
 
 fn main() {
     let seed = seed_from_args();
@@ -27,25 +28,32 @@ fn main() {
         "aggregate (Mbps)",
     ]);
 
-    for stripes in [1usize, 2, 4] {
-        for parallelism in [1u32, 4] {
-            let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
-            let client = grid.host_id("alpha1").expect("alpha1");
-            let sources: Vec<HostId> = (0..stripes)
-                .map(|i| grid.host_id(&format!("gridhit{i}")).expect("hit host"))
-                .collect();
-            let req = TransferRequest::new(1024 * MB).with_parallelism(parallelism);
-            let outcome = grid
-                .striped_transfer_between(&sources, client, req)
-                .expect("striped transfer runs");
-            let secs = outcome.duration().as_secs_f64();
-            table.row([
-                format!("{stripes}"),
-                format!("{parallelism}"),
-                format!("{secs:.1}"),
-                format!("{:.1}", outcome.avg_throughput().as_mbps()),
-            ]);
-        }
+    // Fresh grid per cell, so the stripes x parallelism sweep fans out
+    // across workers; par_map keeps rows in input order.
+    let cells: Vec<(usize, u32)> = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&stripes| [1u32, 4].map(|parallelism| (stripes, parallelism)))
+        .collect();
+    let rows = par_map(cells, |(stripes, parallelism)| {
+        let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
+        let client = grid.host_id("alpha1").expect("alpha1");
+        let sources: Vec<HostId> = (0..stripes)
+            .map(|i| grid.host_id(&format!("gridhit{i}")).expect("hit host"))
+            .collect();
+        let req = TransferRequest::new(1024 * MB).with_parallelism(parallelism);
+        let outcome = grid
+            .striped_transfer_between(&sources, client, req)
+            .expect("striped transfer runs");
+        let secs = outcome.duration().as_secs_f64();
+        [
+            format!("{stripes}"),
+            format!("{parallelism}"),
+            format!("{secs:.1}"),
+            format!("{:.1}", outcome.avg_throughput().as_mbps()),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
 
     print!("{}", table.render());

@@ -14,6 +14,7 @@ use datagrid_core::policy::SelectionPolicy;
 use datagrid_core::tuning::{Observation, WeightTuner};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::{selection_quality, TextTable};
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 use datagrid_testbed::workload::RequestTrace;
 
@@ -38,7 +39,10 @@ fn main() {
         "mean fetch (s)",
     ]);
 
-    for (bw, cpu, io) in SWEEP {
+    // One fresh grid per weight vector, so the sweep fans out across
+    // workers; par_map keeps rows in input order (byte-identical to
+    // serial).
+    let rows = par_map(SWEEP.to_vec(), |(bw, cpu, io)| {
         let weights = Weights::normalized(bw, cpu, io);
         let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(300));
         grid.catalog_mut()
@@ -62,7 +66,7 @@ fn main() {
             SelectionPolicy::CostModel,
             FetchOptions::default().with_parallelism(4),
         );
-        table.row([
+        [
             format!(
                 "{:.2}/{:.2}/{:.2}",
                 weights.bandwidth, weights.cpu, weights.io
@@ -70,7 +74,10 @@ fn main() {
             format!("{:.2}", stats.oracle_accuracy),
             format!("{:.2}", stats.mean_regret),
             format!("{:.1}", stats.mean_duration_s),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
 
     print!("{}", table.render());

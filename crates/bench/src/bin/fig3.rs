@@ -12,6 +12,7 @@ use datagrid_bench::{
 use datagrid_gridftp::transfer::{Protocol, TransferRequest};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 
 fn main() {
@@ -26,25 +27,30 @@ fn main() {
         "overhead (%)",
     ]);
 
-    let mut last_grid = None;
-    for size_mb in PAPER_SIZES_MB {
-        let mut run = |protocol: Protocol| {
-            // A fresh grid per cell keeps cells independent and identically
-            // distributed (same seed, same background traffic sample).
-            let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
-            let src = grid.host_id(canonical_host("alpha01")).expect("alpha01");
-            let dst = grid.host_id(canonical_host("gridhit3")).expect("gridhit3");
-            let req = TransferRequest::new(size_mb * MB).with_protocol(protocol);
-            let secs = grid
-                .transfer_between(src, dst, req)
-                .expect("transfer runs")
-                .duration()
-                .as_secs_f64();
-            last_grid = Some(grid);
-            secs
-        };
-        let ftp = run(Protocol::Ftp);
-        let gftp = run(Protocol::GridFtp);
+    // Every cell builds a fresh grid from the same seed, so cells are
+    // independent and identically distributed (same background traffic
+    // sample) and can run on worker threads; par_map returns results in
+    // input order, keeping the sweep byte-identical to a serial run.
+    let cells: Vec<(u64, Protocol)> = PAPER_SIZES_MB
+        .iter()
+        .flat_map(|&size_mb| [(size_mb, Protocol::Ftp), (size_mb, Protocol::GridFtp)])
+        .collect();
+    let results = par_map(cells, |(size_mb, protocol)| {
+        let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
+        let src = grid.host_id(canonical_host("alpha01")).expect("alpha01");
+        let dst = grid.host_id(canonical_host("gridhit3")).expect("gridhit3");
+        let req = TransferRequest::new(size_mb * MB).with_protocol(protocol);
+        let secs = grid
+            .transfer_between(src, dst, req)
+            .expect("transfer runs")
+            .duration()
+            .as_secs_f64();
+        (secs, grid)
+    });
+
+    for (size_mb, pair) in PAPER_SIZES_MB.iter().zip(results.chunks(2)) {
+        let ftp = pair[0].0;
+        let gftp = pair[1].0;
         table.row([
             format!("{size_mb}"),
             format!("{ftp:.1}"),
@@ -61,7 +67,7 @@ fn main() {
          constant authentication overhead (\"even [when] file size is 2 gigabytes, the data \
          transfer time is similar\")."
     );
-    if let Some(grid) = &last_grid {
+    if let Some((_, grid)) = results.last() {
         emit_observability(grid, "fig3");
     }
 }

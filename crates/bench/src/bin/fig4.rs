@@ -13,6 +13,7 @@ use datagrid_bench::{
 use datagrid_gridftp::transfer::TransferRequest;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 
 const STREAMS: [u32; 5] = [1, 2, 4, 8, 16];
@@ -34,27 +35,36 @@ fn main() {
         "16 streams (s)",
     ]);
 
-    let mut last_grid = None;
-    for size_mb in PAPER_SIZES_MB {
-        let mut run = |parallelism: Option<u32>| {
-            let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
-            let src = grid.host_id(canonical_host("alpha02")).expect("alpha02");
-            let dst = grid.host_id(canonical_host("lz04")).expect("lz04");
-            let mut req = TransferRequest::new(size_mb * MB);
-            if let Some(p) = parallelism {
-                req = req.with_parallelism(p);
-            }
-            let secs = grid
-                .transfer_between(src, dst, req)
-                .expect("transfer runs")
-                .duration()
-                .as_secs_f64();
-            last_grid = Some(grid);
-            secs
-        };
-        let mut cells = vec![format!("{size_mb}"), format!("{:.1}", run(None))];
-        for p in STREAMS {
-            cells.push(format!("{:.1}", run(Some(p))));
+    // Fresh grid per cell: cells are independent, so the whole
+    // size x parallelism sweep fans out across workers; par_map keeps the
+    // results in input order (byte-identical to serial).
+    let configs_per_size = 1 + STREAMS.len();
+    let cells: Vec<(u64, Option<u32>)> = PAPER_SIZES_MB
+        .iter()
+        .flat_map(|&size_mb| {
+            std::iter::once((size_mb, None)).chain(STREAMS.iter().map(move |&p| (size_mb, Some(p))))
+        })
+        .collect();
+    let results = par_map(cells, |(size_mb, parallelism)| {
+        let mut grid = warmed_paper_grid(seed, SimDuration::from_secs(60));
+        let src = grid.host_id(canonical_host("alpha02")).expect("alpha02");
+        let dst = grid.host_id(canonical_host("lz04")).expect("lz04");
+        let mut req = TransferRequest::new(size_mb * MB);
+        if let Some(p) = parallelism {
+            req = req.with_parallelism(p);
+        }
+        let secs = grid
+            .transfer_between(src, dst, req)
+            .expect("transfer runs")
+            .duration()
+            .as_secs_f64();
+        (secs, grid)
+    });
+
+    for (size_mb, row) in PAPER_SIZES_MB.iter().zip(results.chunks(configs_per_size)) {
+        let mut cells = vec![format!("{size_mb}")];
+        for (secs, _) in row {
+            cells.push(format!("{secs:.1}"));
         }
         table.row(cells);
     }
@@ -66,7 +76,7 @@ fn main() {
          larger file sizes\" -- multiple TCP streams aggregate bandwidth on the lossy WAN \
          path, with diminishing returns once the 30 Mbps link saturates."
     );
-    if let Some(grid) = &last_grid {
+    if let Some((_, grid)) = results.last() {
         emit_observability(grid, "fig4");
     }
 }

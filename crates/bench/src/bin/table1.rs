@@ -14,6 +14,7 @@ use datagrid_bench::{banner, emit_observability, seed_from_args, warmed_paper_gr
 use datagrid_core::grid::FetchOptions;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::par::par_map;
 use datagrid_testbed::sites::canonical_host;
 
 fn main() {
@@ -46,16 +47,25 @@ fn main() {
         "transfer time (s)",
     ]);
 
+    // Counterfactual: replay the fetch with each candidate forced, on a
+    // clone (identical randomness), as the paper measured every candidate's
+    // physical transfer time. Clones are independent, so the probes fan out
+    // across workers; par_map keeps input order (byte-identical to serial).
+    let probes: Vec<_> = candidates
+        .iter()
+        .map(|c| (c.host_name.clone(), grid.clone()))
+        .collect();
+    let measured = par_map(probes, |(host, mut probe)| {
+        probe
+            .fetch_from(client, "file-a", &host, FetchOptions::default())
+            .expect("forced fetch succeeds")
+            .transfer
+            .duration()
+            .as_secs_f64()
+    });
+
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for c in &candidates {
-        // Counterfactual: replay the fetch with this candidate forced, on a
-        // clone (identical randomness), as the paper measured every
-        // candidate's physical transfer time.
-        let mut probe = grid.clone();
-        let report = probe
-            .fetch_from(client, "file-a", &c.host_name, FetchOptions::default())
-            .expect("forced fetch succeeds");
-        let secs = report.transfer.duration().as_secs_f64();
+    for (c, &secs) in candidates.iter().zip(&measured) {
         table.row([
             c.host_name.clone(),
             format!("{:.3}", c.factors.bandwidth_fraction),

@@ -16,6 +16,12 @@
 //! | `ablation_forecasters` | NWS forecaster accuracy |
 //! | `ablation_security` | FTP vs GridFTP PROT C/S/P cost |
 //! | `ablation_replication` | dynamic replica creation strategies |
+//! | `scale` | simulation-core settle throughput (`BENCH_simnet.json`) |
+//!
+//! The sweep bins fan independent cells out with
+//! [`datagrid_testbed::par::par_map`]; `DATAGRID_JOBS=1` forces the
+//! serial path, any value the worker count — output is byte-identical
+//! either way.
 
 #![warn(missing_docs)]
 

@@ -611,6 +611,9 @@ impl DataGrid {
         m.set_counter("simnet.bytes_completed", s.bytes_completed);
         m.set_counter("simnet.fault_transitions", s.fault_transitions);
         m.set_counter("simnet.flows_dropped", s.flows_dropped);
+        m.set_counter("simnet.incremental_solves", s.incremental_solves);
+        m.set_counter("simnet.full_solves", s.full_solves);
+        m.set_counter("simnet.solver_flows_touched", s.solver_flows_touched);
         let c = self.catalog.stats();
         m.set_counter("catalog.lookups", c.lookups());
         m.set_counter("catalog.hits", c.hits());

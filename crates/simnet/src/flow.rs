@@ -11,6 +11,19 @@
 //! fair share. This is the textbook definition of max-min fairness with
 //! per-flow upper bounds and is how grid simulators (OptorSim, GridSim)
 //! model TCP sharing.
+//!
+//! Two entry points:
+//!
+//! * [`max_min_allocation`] — the simple allocating API: one call, one
+//!   fresh `Vec<f64>` of rates. Used by tests and one-shot callers.
+//! * [`MaxMinSolver`] — the reusable solver the engine's hot path runs on.
+//!   All working state (per-flow rate/frozen arrays, per-link
+//!   remaining-capacity and user counts) lives in buffers owned by the
+//!   solver and is recycled across calls, so a steady-state re-solve
+//!   performs **no heap allocation**. The caller names the exact set of
+//!   links in play, which lets the engine re-solve only the connected
+//!   component of links/flows perturbed by an event instead of the whole
+//!   grid.
 
 use crate::topology::LinkId;
 
@@ -24,19 +37,251 @@ pub struct FlowDemand<'a> {
     pub cap_bps: f64,
 }
 
-/// Computes the max-min fair allocation.
+/// Converts a per-link user count to `f64` losslessly.
+///
+/// User counts are bounded by the number of concurrent flows; `f64`
+/// represents every integer up to 2^53 exactly, so the conversion is exact
+/// for any realistic simulation. The debug assert documents (and, in debug
+/// builds, enforces) that bound instead of silently truncating through a
+/// lossy `as` cast.
+#[inline]
+fn users_to_f64(users: usize) -> f64 {
+    debug_assert!(
+        (users as u64) < (1u64 << 53),
+        "per-link user count {users} exceeds f64's exact integer range"
+    );
+    users as f64
+}
+
+/// A reusable progressive-filling solver.
+///
+/// The solver owns every buffer the algorithm needs; buffers grow to the
+/// high-water mark of flows/links seen and are reused afterwards, so
+/// repeated calls allocate nothing. Per-link state (`remaining`, `users`)
+/// is indexed by **global** link id but only the entries named in the
+/// `links` argument of [`MaxMinSolver::solve_with`] are initialised and
+/// read — solving a 3-flow component of a 10 000-link grid touches 3 flows
+/// and their links, nothing else.
+///
+/// ```
+/// use datagrid_simnet::flow::MaxMinSolver;
+/// use datagrid_simnet::topology::LinkId;
+///
+/// let routes: Vec<Vec<LinkId>> = vec![vec![LinkId::from_index(0)]; 2];
+/// let mut solver = MaxMinSolver::new();
+/// let rates = solver.solve_with(
+///     2,
+///     |i| routes[i].as_slice(),
+///     |_| f64::INFINITY,
+///     &[0],
+///     &[100.0],
+/// );
+/// assert!((rates[0] - 50.0).abs() < 1e-9);
+/// assert!((rates[1] - 50.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MaxMinSolver {
+    rate: Vec<f64>,
+    frozen: Vec<bool>,
+    cap: Vec<f64>,
+    /// Remaining capacity per global link id (valid only for links in play).
+    remaining: Vec<f64>,
+    /// Unfrozen flow count per global link id (valid only for links in play).
+    users: Vec<usize>,
+}
+
+impl MaxMinSolver {
+    /// Creates a solver with empty buffers.
+    pub fn new() -> Self {
+        MaxMinSolver::default()
+    }
+
+    /// Computes the max-min fair allocation for `n` flows.
+    ///
+    /// * `route(i)` / `cap_bps(i)` describe flow `i` (routes may be asked
+    ///   for repeatedly; both must be pure).
+    /// * `links` lists the distinct global link indices in play: every link
+    ///   appearing in any route must be present exactly once. Links outside
+    ///   the list are never read or written.
+    /// * `link_capacity_bps` is the global capacity array, indexed by link
+    ///   id.
+    ///
+    /// Returns the rates for flows `0..n`, borrowed from the solver's
+    /// internal buffer (valid until the next call).
+    ///
+    /// Guarantees (tested, including by property tests):
+    /// * no link's total allocated rate exceeds its capacity (within 1e-6
+    ///   relative tolerance),
+    /// * no flow exceeds its cap,
+    /// * every flow is *bottlenecked*: it either runs at its cap or crosses
+    ///   at least one saturated link (Pareto efficiency),
+    /// * flows with empty routes get exactly their cap.
+    pub fn solve_with<'r>(
+        &mut self,
+        n: usize,
+        route: impl Fn(usize) -> &'r [LinkId],
+        cap_bps: impl Fn(usize) -> f64,
+        links: &[u32],
+        link_capacity_bps: &[f64],
+    ) -> &[f64] {
+        self.rate.clear();
+        self.frozen.clear();
+        self.cap.clear();
+        self.rate.resize(n, 0.0);
+        self.frozen.resize(n, false);
+        self.cap.reserve(n);
+        for i in 0..n {
+            self.cap.push(cap_bps(i));
+        }
+        if self.remaining.len() < link_capacity_bps.len() {
+            self.remaining.resize(link_capacity_bps.len(), 0.0);
+            self.users.resize(link_capacity_bps.len(), 0);
+        }
+        for &l in links {
+            let l = l as usize;
+            self.remaining[l] = link_capacity_bps[l];
+            self.users[l] = 0;
+        }
+
+        // Flows with empty routes consume no link capacity: give them their
+        // cap. Everyone else registers as a user on each link it crosses.
+        for i in 0..n {
+            let r = route(i);
+            if r.is_empty() {
+                self.rate[i] = self.cap[i];
+                self.frozen[i] = true;
+            } else {
+                for l in r {
+                    debug_assert!(
+                        l.index() < link_capacity_bps.len(),
+                        "route references unknown link {l}"
+                    );
+                    self.users[l.index()] += 1;
+                }
+            }
+        }
+
+        // `level` is the common rate all unfrozen flows have reached so far.
+        let mut level = 0.0_f64;
+        loop {
+            let active = self.frozen.iter().filter(|&&f| !f).count();
+            if active == 0 {
+                break;
+            }
+
+            // Next event: either some unfrozen flow reaches its cap, or some
+            // link with users saturates at the shared fill level.
+            let mut next_level = f64::INFINITY;
+            for i in 0..n {
+                if !self.frozen[i] {
+                    next_level = next_level.min(self.cap[i]);
+                }
+            }
+            for &l in links {
+                let l = l as usize;
+                let u = self.users[l];
+                if u > 0 {
+                    // All u unfrozen users rise together from `level`; the
+                    // link saturates when (x - level) * u == remaining.
+                    next_level = next_level.min(level + self.remaining[l] / users_to_f64(u));
+                }
+            }
+
+            if !next_level.is_finite() {
+                // Unfrozen flows with infinite caps and no constraining
+                // links: cannot happen — any unfrozen flow has a nonempty
+                // route and counts as a user on each of its links.
+                // Defensive stop.
+                for i in 0..n {
+                    if !self.frozen[i] {
+                        self.rate[i] = self.cap[i];
+                        self.frozen[i] = true;
+                    }
+                }
+                break;
+            }
+
+            let delta = (next_level - level).max(0.0);
+            // Charge the growth to every link.
+            if delta > 0.0 {
+                for &l in links {
+                    let l = l as usize;
+                    if self.users[l] > 0 {
+                        self.remaining[l] =
+                            (self.remaining[l] - delta * users_to_f64(self.users[l])).max(0.0);
+                    }
+                }
+            }
+            level = next_level;
+
+            // Freeze flows at their caps.
+            let mut any_frozen = false;
+            for i in 0..n {
+                if !self.frozen[i] && self.cap[i] <= level + 1e-12 {
+                    self.rate[i] = self.cap[i];
+                    self.frozen[i] = true;
+                    any_frozen = true;
+                    for l in route(i) {
+                        self.users[l.index()] -= 1;
+                    }
+                }
+            }
+            // Freeze flows crossing saturated links at the fill level.
+            for i in 0..n {
+                if self.frozen[i] {
+                    continue;
+                }
+                let saturated = route(i).iter().any(|l| {
+                    self.remaining[l.index()] <= 1e-9 * link_capacity_bps[l.index()].max(1.0)
+                });
+                if saturated {
+                    self.rate[i] = level;
+                    self.frozen[i] = true;
+                    any_frozen = true;
+                    for l in route(i) {
+                        self.users[l.index()] -= 1;
+                    }
+                }
+            }
+
+            if !any_frozen {
+                // Numerical safety: next_level should always freeze
+                // something. If rounding prevented it, freeze the
+                // minimum-cap flow.
+                let mut best: Option<(usize, f64)> = None;
+                for i in 0..n {
+                    if !self.frozen[i] && best.is_none_or(|(_, c)| self.cap[i] < c) {
+                        best = Some((i, self.cap[i]));
+                    }
+                }
+                if let Some((i, cap)) = best {
+                    self.rate[i] = cap.min(level);
+                    self.frozen[i] = true;
+                    for l in route(i) {
+                        self.users[l.index()] -= 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+
+        &self.rate
+    }
+
+    /// The rate computed for flow `i` by the last [`MaxMinSolver::solve_with`]
+    /// call.
+    pub fn rate(&self, i: usize) -> f64 {
+        self.rate[i]
+    }
+}
+
+/// Computes the max-min fair allocation (allocating convenience wrapper
+/// around [`MaxMinSolver`]).
 ///
 /// `link_capacity_bps[l]` is the capacity of link `l` (indexable by every
 /// link id appearing in a route). Returns one rate per flow, in the input
-/// order.
-///
-/// Guarantees (tested, including by property tests):
-/// * no link's total allocated rate exceeds its capacity (within 1e-6
-///   relative tolerance),
-/// * no flow exceeds its cap,
-/// * every flow is *bottlenecked*: it either runs at its cap or crosses at
-///   least one saturated link (Pareto efficiency),
-/// * flows with empty routes get exactly their cap.
+/// order. See [`MaxMinSolver::solve_with`] for the guarantees.
 ///
 /// # Panics
 ///
@@ -58,133 +303,17 @@ pub fn max_min_allocation(flows: &[FlowDemand<'_>], link_capacity_bps: &[f64]) -
             );
         }
     }
-
-    let n = flows.len();
-    let mut rate = vec![0.0_f64; n];
-    let mut frozen = vec![false; n];
-
-    // Flows with empty routes consume no link capacity: give them their cap.
-    for (i, f) in flows.iter().enumerate() {
-        if f.route.is_empty() {
-            rate[i] = f.cap_bps;
-            frozen[i] = true;
-        }
-    }
-
-    // Remaining capacity per link and the unfrozen flow count per link.
-    let mut remaining: Vec<f64> = link_capacity_bps.to_vec();
-    let mut users: Vec<u32> = vec![0; link_capacity_bps.len()];
-    for (i, f) in flows.iter().enumerate() {
-        if !frozen[i] {
-            for l in f.route {
-                users[l.index()] += 1;
-            }
-        }
-    }
-
-    // `level` is the common rate all unfrozen flows have reached so far.
-    let mut level = 0.0_f64;
-    loop {
-        let active = frozen.iter().filter(|&&f| !f).count();
-        if active == 0 {
-            break;
-        }
-
-        // Next event: either some unfrozen flow reaches its cap, or some
-        // link with users saturates at the shared fill level.
-        let mut next_level = f64::INFINITY;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                next_level = next_level.min(f.cap_bps);
-            }
-        }
-        for (l, (&rem, &u)) in remaining.iter().zip(users.iter()).enumerate() {
-            let _ = l;
-            if u > 0 {
-                // All u unfrozen users rise together from `level`; the link
-                // saturates when (x - level) * u == rem.
-                next_level = next_level.min(level + rem / f64::from(u));
-            }
-        }
-
-        if !next_level.is_finite() {
-            // Unfrozen flows with infinite caps and no constraining links:
-            // they must all have routes with zero users?? Cannot happen --
-            // any unfrozen flow has a nonempty route and counts as a user on
-            // each of its links. Defensive stop.
-            for (i, f) in flows.iter().enumerate() {
-                if !frozen[i] {
-                    rate[i] = f.cap_bps;
-                    frozen[i] = true;
-                }
-            }
-            break;
-        }
-
-        let delta = (next_level - level).max(0.0);
-        // Charge the growth to every link.
-        if delta > 0.0 {
-            for (l, rem) in remaining.iter_mut().enumerate() {
-                if users[l] > 0 {
-                    *rem = (*rem - delta * f64::from(users[l])).max(0.0);
-                }
-            }
-        }
-        level = next_level;
-
-        // Freeze flows at their caps.
-        let mut any_frozen = false;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] && f.cap_bps <= level + 1e-12 {
-                rate[i] = f.cap_bps;
-                frozen[i] = true;
-                any_frozen = true;
-                for l in f.route {
-                    users[l.index()] -= 1;
-                }
-            }
-        }
-        // Freeze flows crossing saturated links at the fill level.
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
-                continue;
-            }
-            let saturated = f
-                .route
-                .iter()
-                .any(|l| remaining[l.index()] <= 1e-9 * link_capacity_bps[l.index()].max(1.0));
-            if saturated {
-                rate[i] = level;
-                frozen[i] = true;
-                any_frozen = true;
-                for l in f.route {
-                    users[l.index()] -= 1;
-                }
-            }
-        }
-
-        if !any_frozen {
-            // Numerical safety: next_level should always freeze something.
-            // If rounding prevented it, freeze the minimum-cap flow.
-            let mut best: Option<(usize, f64)> = None;
-            for (i, f) in flows.iter().enumerate() {
-                if !frozen[i] && best.is_none_or(|(_, c)| f.cap_bps < c) {
-                    best = Some((i, f.cap_bps));
-                }
-            }
-            if let Some((i, cap)) = best {
-                rate[i] = cap.min(level);
-                frozen[i] = true;
-                for l in flows[i].route {
-                    users[l.index()] -= 1;
-                }
-            } else {
-                break;
-            }
-        }
-    }
-
-    rate
+    let links: Vec<u32> = (0..link_capacity_bps.len() as u32).collect();
+    let mut solver = MaxMinSolver::new();
+    solver
+        .solve_with(
+            flows.len(),
+            |i| flows[i].route,
+            |i| flows[i].cap_bps,
+            &links,
+            link_capacity_bps,
+        )
+        .to_vec()
 }
 
 #[cfg(test)]
@@ -311,6 +440,79 @@ mod tests {
         let background: f64 = rates[4..].iter().sum();
         assert!((transfer - 40.0).abs() < 1e-9);
         assert!((background - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reused_solver_matches_fresh_allocation() {
+        // The same solver instance run back to back over different problems
+        // must give exactly the answers of one-shot calls: buffer reuse
+        // leaks no state between solves.
+        let mut solver = MaxMinSolver::new();
+        type Problem = (Vec<Vec<LinkId>>, Vec<f64>, Vec<f64>);
+        let problems: Vec<Problem> = vec![
+            (
+                vec![vec![l(0)], vec![l(0)]],
+                vec![f64::INFINITY; 2],
+                vec![100.0],
+            ),
+            (
+                vec![vec![l(0), l(1)], vec![l(1)]],
+                vec![f64::INFINITY, 25.0],
+                vec![30.0, 100.0],
+            ),
+            (vec![vec![l(1)]], vec![f64::INFINITY], vec![50.0, 80.0]),
+        ];
+        for (routes, caps, link_caps) in &problems {
+            let links: Vec<u32> = (0..link_caps.len() as u32).collect();
+            let got = solver
+                .solve_with(
+                    routes.len(),
+                    |i| routes[i].as_slice(),
+                    |i| caps[i],
+                    &links,
+                    link_caps,
+                )
+                .to_vec();
+            let demands: Vec<FlowDemand<'_>> = routes
+                .iter()
+                .zip(caps)
+                .map(|(r, &c)| FlowDemand {
+                    route: r,
+                    cap_bps: c,
+                })
+                .collect();
+            let want = max_min_allocation(&demands, link_caps);
+            assert_eq!(got, want, "solver reuse diverged");
+        }
+    }
+
+    #[test]
+    fn solver_ignores_links_outside_the_component() {
+        // Links 0..4 exist globally, but only link 2 is in play. Entries for
+        // the other links are stale garbage from a previous solve; the
+        // answer must depend only on link 2.
+        let mut solver = MaxMinSolver::new();
+        let all: Vec<u32> = (0..4).collect();
+        let caps = [10.0, 10.0, 60.0, 10.0];
+        let busy_routes = [vec![l(0)], vec![l(1)], vec![l(3)]];
+        let _ = solver.solve_with(
+            3,
+            |i| busy_routes[i].as_slice(),
+            |_| f64::INFINITY,
+            &all,
+            &caps,
+        );
+        // Now a 2-flow component confined to link 2.
+        let comp_routes = [vec![l(2)], vec![l(2)]];
+        let rates = solver.solve_with(
+            2,
+            |i| comp_routes[i].as_slice(),
+            |_| f64::INFINITY,
+            &[2],
+            &caps,
+        );
+        assert!((rates[0] - 30.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 30.0).abs() < 1e-9, "{rates:?}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod topology;
 pub mod trace;
 
 pub use engine::{
-    EventKind, FaultNotice, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent,
+    EventKind, FaultNotice, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent, SolverMode,
 };
 pub use fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use time::{SimDuration, SimTime};
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::background::{BackgroundProfile, BackgroundTraffic};
     pub use crate::engine::{
         EngineStats, EventKind, FaultNotice, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim,
-        SimEvent,
+        SimEvent, SolverMode,
     };
     pub use crate::fault::{FaultKind, FaultPlan, ScheduledFault};
     pub use crate::rng::SimRng;

@@ -193,6 +193,31 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// Computes the `q`-quantile of a slice by linear interpolation between
+/// order statistics (0 when empty). `q` is clamped to `[0, 1]`; the input
+/// need not be sorted. Used by the benchmark harness for latency
+/// percentiles.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile requires comparable values")
+    });
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
 /// Converts a throughput in bytes over a duration to bits per second.
 pub fn throughput_bps(bytes: u64, elapsed: SimDuration) -> f64 {
     let secs = elapsed.as_secs_f64();
@@ -249,6 +274,17 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&xs, 0.5), 2.5);
+        assert!((percentile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
     }
 
     #[test]

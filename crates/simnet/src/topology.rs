@@ -8,6 +8,7 @@
 
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::time::SimDuration;
 
@@ -24,12 +25,34 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a node id from a raw index (for test fixtures and benchmark
+    /// harnesses; ids built this way are only meaningful against the
+    /// topology they were taken from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in the id space.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index too large"))
+    }
 }
 
 impl LinkId {
     /// The raw index of this link.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a link id from a raw index (for test fixtures and benchmark
+    /// harnesses; ids built this way are only meaningful against the
+    /// topology they were taken from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in the id space.
+    pub fn from_index(index: usize) -> Self {
+        LinkId(u32::try_from(index).expect("link index too large"))
     }
 }
 
@@ -168,6 +191,10 @@ struct NodeRecord {
     name: String,
     /// Outgoing links.
     out: Vec<LinkId>,
+    /// Every link incident to this node, in either direction. Maintained on
+    /// [`Topology::add_link`] so fault handling and connection drops resolve
+    /// a node's links in O(degree) instead of scanning the whole link table.
+    incident: Vec<LinkId>,
 }
 
 /// A directed network graph with named nodes and capacity/latency links.
@@ -199,6 +226,7 @@ impl Topology {
         self.nodes.push(NodeRecord {
             name: name.into(),
             out: Vec::new(),
+            incident: Vec::new(),
         });
         id
     }
@@ -215,6 +243,8 @@ impl Topology {
         let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
         self.links.push(LinkRecord { from, to, spec });
         self.nodes[from.index()].out.push(id);
+        self.nodes[from.index()].incident.push(id);
+        self.nodes[to.index()].incident.push(id);
         id
     }
 
@@ -277,6 +307,17 @@ impl Topology {
 
     pub(crate) fn link_records(&self) -> &[LinkRecord] {
         &self.links
+    }
+
+    /// Every directed link incident to `node` (either endpoint), in
+    /// insertion order. O(1): the incidence lists are maintained as links
+    /// are added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn incident_links(&self, node: NodeId) -> &[LinkId] {
+        &self.nodes[node.index()].incident
     }
 
     /// Renders the topology in Graphviz DOT format (for documentation and
@@ -399,9 +440,13 @@ impl Topology {
 
 /// A path through the network: the directed links from source to
 /// destination, plus the total one-way latency.
+///
+/// The link sequence is stored behind an [`Arc`] so the engine can share a
+/// route with the routing table instead of copying it per flow: cloning a
+/// `Path` (or calling [`Path::links_shared`]) is O(1) and allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Path {
-    links: Vec<LinkId>,
+    links: Arc<[LinkId]>,
     latency: SimDuration,
 }
 
@@ -409,6 +454,11 @@ impl Path {
     /// The directed links traversed, in order.
     pub fn links(&self) -> &[LinkId] {
         &self.links
+    }
+
+    /// A shared handle on the link sequence (O(1), no allocation).
+    pub(crate) fn links_shared(&self) -> Arc<[LinkId]> {
+        Arc::clone(&self.links)
     }
 
     /// Total one-way propagation latency of the path.
@@ -470,7 +520,10 @@ impl RoutingTable {
                     cur = from.index();
                 }
                 links.reverse();
-                row.push(Some(Path { links, latency }));
+                row.push(Some(Path {
+                    links: links.into(),
+                    latency,
+                }));
             }
             routes.push(row);
         }
@@ -546,6 +599,21 @@ mod tests {
         assert_eq!(t.link_count(), 2);
         assert_eq!(t.link_endpoints(f), (a, b));
         assert_eq!(t.link_endpoints(r), (b, a));
+    }
+
+    #[test]
+    fn incident_links_cover_both_directions() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let (ab, ba) = t.add_duplex_link(a, b, LinkSpec::new(mbps(10.0), ms(1)));
+        let (bc, cb) = t.add_duplex_link(b, c, LinkSpec::new(mbps(10.0), ms(1)));
+        assert_eq!(t.incident_links(a), &[ab, ba]);
+        assert_eq!(t.incident_links(b), &[ab, ba, bc, cb]);
+        assert_eq!(t.incident_links(c), &[bc, cb]);
+        assert_eq!(NodeId::from_index(1), b);
+        assert_eq!(LinkId::from_index(ab.index()), ab);
     }
 
     #[test]

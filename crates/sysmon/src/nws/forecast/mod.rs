@@ -32,7 +32,7 @@ pub use smoothing::{ExpSmoothing, LastValue};
 /// Implementations are updated with each new measurement and asked for a
 /// prediction of the *next* one. They must be cheap: NWS runs the whole
 /// battery on every sample.
-pub trait Forecaster: std::fmt::Debug {
+pub trait Forecaster: std::fmt::Debug + Send {
     /// Short stable name for reports.
     fn name(&self) -> &'static str;
 

@@ -8,13 +8,16 @@
 //!   TANet backbone, with the paper's host names,
 //! * [`workload`] — request workloads over replicated files,
 //! * [`experiment`] — text-table rendering and the selection-quality
-//!   harness (oracle comparison) used by the benches.
+//!   harness (oracle comparison) used by the benches,
+//! * [`par`] — deterministic order-preserving parallel map for the bench
+//!   sweeps (`DATAGRID_JOBS` controls the worker count).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod calibration;
 pub mod experiment;
+pub mod par;
 pub mod sites;
 pub mod workload;
 
@@ -26,6 +29,7 @@ pub mod prelude {
     pub use crate::experiment::{
         obs_dump, replay_trace, selection_quality, write_obs_dump, ObsDump, QualityStats, TextTable,
     };
+    pub use crate::par::{par_map, worker_count};
     pub use crate::sites::{canonical_host, paper_testbed, PaperSites};
     pub use crate::workload::{Request, RequestTrace};
 }

@@ -24,6 +24,10 @@ step_bench_build() { step bench-build cargo build -p datagrid-bench; }
 step_test() { step test cargo test -q; }
 step_fmt() { step fmt cargo fmt --check; }
 step_clippy() { step clippy cargo clippy --all-targets -- -D warnings; }
+# Smoke, not a perf gate: the scale benchmark must run and emit a report
+# whose key throughput fields parse (scripts/bench.sh re-reads it with
+# `scale --check`).
+step_bench_smoke() { step bench-smoke scripts/bench.sh target/BENCH_simnet.json; }
 
 if [ $# -gt 0 ]; then
   for sel in "$@"; do
@@ -35,6 +39,7 @@ else
   step_test
   step_fmt
   step_clippy
+  step_bench_smoke
 fi
 
 echo "==> ci OK"
