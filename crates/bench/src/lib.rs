@@ -17,6 +17,7 @@
 //! | `ablation_security` | FTP vs GridFTP PROT C/S/P cost |
 //! | `ablation_replication` | dynamic replica creation strategies |
 //! | `scale` | simulation-core settle throughput (`BENCH_simnet.json`) |
+//! | `grid_scale` | multi-client replay sweep, static vs contention-aware (`BENCH_grid.json`) |
 //!
 //! The sweep bins fan independent cells out with
 //! [`datagrid_testbed::par::par_map`]; `DATAGRID_JOBS=1` forces the

@@ -140,6 +140,32 @@ impl ReplicaCatalog {
         Ok(rec.entry())
     }
 
+    /// Registers a logical file together with all of its replica
+    /// locations — the bulk path used by generated workload catalogs,
+    /// where hundreds of file/placement pairs are installed before a
+    /// replay.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::DuplicateFile`] (nothing is registered), or any
+    /// [`ReplicaCatalog::add_replica`] error (the file and the replicas
+    /// added so far remain registered).
+    pub fn register_logical_with_replicas<I>(
+        &mut self,
+        name: LogicalFileName,
+        size_bytes: u64,
+        locations: I,
+    ) -> Result<(), CatalogError>
+    where
+        I: IntoIterator<Item = PhysicalFileName>,
+    {
+        self.register_logical(name.clone(), size_bytes)?;
+        for location in locations {
+            self.add_replica(&name, location)?;
+        }
+        Ok(())
+    }
+
     /// Registers a new logical file with content attributes attached.
     ///
     /// # Errors

@@ -16,6 +16,8 @@
 //! sampling, MDS refresh, NWS bandwidth probes) runs on a fixed interval
 //! whenever the grid advances, including *during* transfers.
 
+pub mod replay;
+
 use std::collections::HashMap;
 
 use datagrid_catalog::catalog::ReplicaCatalog;
@@ -78,6 +80,41 @@ const SESSION_TOKEN_BASE: u64 = 1 << 20;
 /// it never complete), so the penalty must be strong enough to demote a
 /// top-scoring site below realistic remote candidates.
 const SUSPECT_SCORE_FACTOR: f64 = 0.15;
+
+/// How the selection server obtains `BW_P` when scoring candidates.
+///
+/// The paper's selection service ranks replicas on NWS *forecasts* —
+/// smoothed history that reacts to contention only as fast as the probe
+/// interval. Under a single client that is exactly Table 1; under many
+/// concurrent clients every decision made between two probes is blind to
+/// the bandwidth the other in-flight transfers already consumed.
+/// [`SelectionMode::ContentionAware`] instead reads the *effective
+/// residual* bandwidth of the path at decision time through the engine's
+/// phantom-flow probe ([`NetSim::available_bandwidth`]), so a path
+/// saturated by other replicas' transfers scores low immediately.
+///
+/// [`SelectionMode::Static`] is the default: the paper's behaviour, and
+/// the mode every Table 1 reproduction pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMode {
+    /// NWS sensor forecast when a sensor covers the path (falling back to
+    /// the residual probe on unmonitored paths) — the paper's behaviour.
+    #[default]
+    Static,
+    /// Effective residual bandwidth from the max-min solver at decision
+    /// time, on every path, monitored or not.
+    ContentionAware,
+}
+
+impl SelectionMode {
+    /// Stable label used in reports and audit records.
+    pub fn label(self) -> &'static str {
+        match self {
+            SelectionMode::Static => "static",
+            SelectionMode::ContentionAware => "contention-aware",
+        }
+    }
+}
 
 /// Options controlling how a fetched replica is transferred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +223,7 @@ pub struct GridBuilder {
     watched_links: Vec<LinkId>,
     recording: bool,
     event_capacity: usize,
+    selection_mode: SelectionMode,
 }
 
 impl GridBuilder {
@@ -209,6 +247,7 @@ impl GridBuilder {
             watched_links: Vec::new(),
             recording: true,
             event_capacity: Recorder::DEFAULT_EVENT_CAPACITY,
+            selection_mode: SelectionMode::default(),
         }
     }
 
@@ -332,6 +371,13 @@ impl GridBuilder {
         self
     }
 
+    /// Sets how the selection server reads `BW_P`
+    /// (default: [`SelectionMode::Static`], the paper's behaviour).
+    pub fn selection_mode(&mut self, mode: SelectionMode) -> &mut Self {
+        self.selection_mode = mode;
+        self
+    }
+
     /// Places the replica catalog / selection servers on a named host
     /// (default: the first host added).
     pub fn catalog_host(&mut self, name: impl Into<String>) -> &mut Self {
@@ -449,6 +495,7 @@ impl GridBuilder {
             next_span_id: 0,
             pending_lfn: None,
             recovery_rng: root.fork("recovery"),
+            selection_mode: self.selection_mode,
         }
     }
 }
@@ -488,6 +535,8 @@ pub struct DataGrid {
     pending_lfn: Option<String>,
     /// Jitter source for retry backoff, forked from the grid seed.
     recovery_rng: SimRng,
+    /// How `BW_P` is obtained during candidate scoring.
+    selection_mode: SelectionMode,
 }
 
 impl std::fmt::Debug for DataGrid {
@@ -569,6 +618,25 @@ impl DataGrid {
     /// The replica selection server.
     pub fn selector_mut(&mut self) -> &mut ReplicaSelector {
         &mut self.selector
+    }
+
+    /// How the selection server currently reads `BW_P`.
+    pub fn selection_mode(&self) -> SelectionMode {
+        self.selection_mode
+    }
+
+    /// Switches how the selection server reads `BW_P`. Takes effect on
+    /// the next scoring query; past audit records are untouched.
+    pub fn set_selection_mode(&mut self, mode: SelectionMode) {
+        self.selection_mode = mode;
+    }
+
+    /// Compacts the network engine's reusable scratch buffers back to the
+    /// current flow population — see [`NetSim::shrink_scratch`]. Intended
+    /// between workload sweeps, once a burst of concurrent transfers has
+    /// drained.
+    pub fn shrink_network_scratch(&mut self) {
+        self.sim.shrink_scratch();
     }
 
     /// The observability recorder: structured event history, metrics
@@ -1491,13 +1559,21 @@ impl DataGrid {
         let bw = if is_local {
             1.0
         } else {
-            match self
-                .nws
-                .sensor(replica_node, client_node)
-                .and_then(BandwidthSensor::bandwidth_fraction)
-            {
-                Some(fraction) => fraction,
-                None => self.instantaneous_fraction(replica_node, client_node),
+            match self.selection_mode {
+                // Contention-aware BW_P: what a new stream would actually
+                // get *right now*, with every in-flight transfer's
+                // allocation already subtracted by the max-min solver.
+                SelectionMode::ContentionAware => {
+                    self.instantaneous_fraction(replica_node, client_node)
+                }
+                SelectionMode::Static => match self
+                    .nws
+                    .sensor(replica_node, client_node)
+                    .and_then(BandwidthSensor::bandwidth_fraction)
+                {
+                    Some(fraction) => fraction,
+                    None => self.instantaneous_fraction(replica_node, client_node),
+                },
             }
         };
         SystemFactors::new(bw, rec.cpu_idle, rec.io_idle)

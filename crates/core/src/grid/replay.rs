@@ -1,0 +1,654 @@
+//! Concurrent multi-client fetch replay.
+//!
+//! The blocking fetch paths ([`DataGrid::fetch_with`],
+//! [`DataGrid::fetch_with_recovery`]) drive one transfer at a time: the
+//! caller's event loop owns the simulator until the fetch resolves, so two
+//! fetches never share the wire. That is exactly the paper's Table 1
+//! setting — and exactly *not* a production grid, where every selection
+//! decision is made while other clients' transfers are already consuming
+//! the links it is scoring.
+//!
+//! [`DataGrid::replay_concurrent`] replays a whole workload — N clients
+//! with seeded arrival times — against **one shared simulator**. Each job
+//! runs the full Fig. 1 scenario as an event-driven state machine
+//! (arrival → catalog/selection latency → decision → GridFTP transfer
+//! with stall detection, seeded backoff retries, suspect marking and
+//! next-best failover), and all in-flight transfers contend for bandwidth
+//! in the same max-min allocation. Everything the blocking paths record —
+//! `selection.decision` audit entries, `transfer.*` spans and metrics,
+//! `selection.failover` events — is recorded here too, interleaved in
+//! simulated-time order.
+//!
+//! Determinism: the replay consumes randomness only through the grid's
+//! own seeded sources (selector, backoff jitter, background traffic), and
+//! every routing decision is by value, never by map-iteration order — two
+//! runs from the same seed produce byte-identical event logs.
+
+use std::collections::HashMap;
+
+use datagrid_catalog::name::LogicalFileName;
+use datagrid_gridftp::executor::{SessionStatus, TransferSession};
+use datagrid_gridftp::instrument::protocol_label;
+use datagrid_gridftp::transfer::{PhaseRecord, TransferOutcome, TransferRequest};
+use datagrid_obs::Event;
+use datagrid_simnet::engine::EventKind;
+use datagrid_simnet::time::{SimDuration, SimTime};
+use datagrid_sysmon::host::HostId;
+
+use super::{DataGrid, FetchOptions, TOK_MONITOR};
+use crate::error::GridError;
+use crate::factors::CandidateScore;
+use crate::recovery::RecoveryOptions;
+
+/// One scheduled fetch in a replay workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayJob {
+    /// Simulated arrival time (clamped to "now" if already past).
+    pub at: SimTime,
+    /// The requesting host.
+    pub client: HostId,
+    /// The logical file to fetch.
+    pub lfn: String,
+}
+
+/// Terminal state of one replayed fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayStatus {
+    /// The fetch delivered the full file.
+    Completed {
+        /// Host that served the winning replica.
+        winner: String,
+        /// Payload bytes delivered across all attempts (equals the file
+        /// size).
+        bytes: u64,
+        /// `true` when the file was already present at the client.
+        local_hit: bool,
+    },
+    /// Every candidate the failover policy was willing to try was
+    /// abandoned (the per-job analogue of
+    /// [`GridError::AllReplicasFailed`]).
+    Failed {
+        /// Hosts tried and abandoned, in order.
+        failed: Vec<String>,
+    },
+}
+
+impl ReplayStatus {
+    /// `true` for [`ReplayStatus::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ReplayStatus::Completed { .. })
+    }
+}
+
+/// The full record of one replayed fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Requesting host name.
+    pub client: String,
+    /// The logical file requested.
+    pub lfn: String,
+    /// When the job entered the system.
+    pub submitted: SimTime,
+    /// When the job reached a terminal state.
+    pub finished: SimTime,
+    /// Transfer attempts across all replicas tried.
+    pub attempts: u32,
+    /// Replicas abandoned before the terminal state.
+    pub failovers: u32,
+    /// Payload bytes moved, including work lost to stalled attempts.
+    pub payload_moved: u64,
+    /// How the job ended.
+    pub status: ReplayStatus,
+}
+
+impl ReplayOutcome {
+    /// Submission-to-terminal latency (queueing + decision + transfer).
+    pub fn latency(&self) -> SimDuration {
+        self.finished - self.submitted
+    }
+}
+
+/// The result of one [`DataGrid::replay_concurrent`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Per-job outcomes, in submission (input) order.
+    pub outcomes: Vec<ReplayOutcome>,
+    /// Simulated time when the replay started.
+    pub started: SimTime,
+    /// Simulated time when the last job reached a terminal state.
+    pub finished: SimTime,
+}
+
+impl ReplayReport {
+    /// Wall time of the whole replay in simulated seconds.
+    pub fn makespan(&self) -> SimDuration {
+        self.finished - self.started
+    }
+
+    /// Jobs that delivered their full file.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status.is_completed())
+            .count()
+    }
+
+    /// Jobs that exhausted every candidate.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+}
+
+/// What a job is waiting for.
+enum Phase {
+    /// Its arrival timer.
+    Arrival,
+    /// The catalog + selection-server round trip.
+    Deciding,
+    /// A retry backoff pause.
+    Backoff { pause: SimDuration },
+    /// A synthesised local disk read.
+    LocalRead { started: SimTime },
+    /// A GridFTP session it owns.
+    Transferring(Box<TransferSession>),
+    /// Nothing: terminal.
+    Done,
+}
+
+struct JobState {
+    client: HostId,
+    client_name: String,
+    lfn: String,
+    submitted: SimTime,
+    /// Size of the requested file (set at the first decision).
+    total_bytes: u64,
+    /// Bytes committed by MODE E restart markers in the current episode.
+    committed: u64,
+    /// Attempts against the current replica.
+    episode_attempts: u32,
+    /// Attempts across all replicas.
+    attempts: u32,
+    failed_over: Vec<String>,
+    payload_moved: u64,
+    decision_started: SimTime,
+    /// Audit sequence number of this job's latest decision, for attaching
+    /// the measured time to the *right* entry under interleaving.
+    audit_seq: Option<u64>,
+    /// The replica currently being fetched.
+    choice: Option<CandidateScore>,
+    phase: Phase,
+}
+
+/// The replay event loop: grid + per-job state machines. `grid` and the
+/// driver's own fields are disjoint, so job state can be borrowed while
+/// grid methods run.
+struct Driver<'a> {
+    grid: &'a mut DataGrid,
+    options: FetchOptions,
+    recovery: &'a RecoveryOptions,
+    states: Vec<JobState>,
+    /// Control-timer token -> job index (arrival, decision, backoff and
+    /// local-read timers; removed when fired).
+    timers: HashMap<u64, usize>,
+    outcomes: Vec<Option<ReplayOutcome>>,
+    remaining: usize,
+}
+
+impl DataGrid {
+    /// Replays `jobs` — each a client/file/arrival-time triple — against
+    /// this grid **concurrently**: every job runs the paper's Fig. 1
+    /// scenario with the recovery semantics of
+    /// [`DataGrid::fetch_with_recovery`], but all jobs share the event
+    /// loop, so their transfers contend for bandwidth and their selection
+    /// decisions observe each other's traffic (especially under
+    /// [`SelectionMode::ContentionAware`](super::SelectionMode)).
+    ///
+    /// Per job, the terminal state is either `Completed` with the full
+    /// file delivered or `Failed` after suspect-marking and next-best
+    /// failover ran out of candidates — a replay never hangs and never
+    /// leaks flows.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors surface as `Err` (unknown files/hosts,
+    /// invalid requests); per-job transfer failures do not — they end in
+    /// [`ReplayStatus::Failed`].
+    pub fn replay_concurrent(
+        &mut self,
+        jobs: &[ReplayJob],
+        options: FetchOptions,
+        recovery: &RecoveryOptions,
+    ) -> Result<ReplayReport, GridError> {
+        let started = self.sim.now();
+        self.obs.metrics_mut().add("replay.jobs", jobs.len() as u64);
+        self.obs.emit(
+            Event::new(started, "replay", "replay.start")
+                .with("jobs", jobs.len())
+                .with("mode", self.selection_mode.label()),
+        );
+        let mut driver = Driver {
+            grid: self,
+            options,
+            recovery,
+            states: Vec::with_capacity(jobs.len()),
+            timers: HashMap::new(),
+            outcomes: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
+            remaining: jobs.len(),
+        };
+        for (idx, job) in jobs.iter().enumerate() {
+            let token = driver.grid.alloc_session_tokens();
+            driver.grid.sim.schedule_timer(job.at.max(started), token);
+            driver.timers.insert(token, idx);
+            driver.states.push(JobState {
+                client: job.client,
+                client_name: driver.grid.hosts[job.client.index()].name().to_string(),
+                lfn: job.lfn.clone(),
+                submitted: job.at.max(started),
+                total_bytes: 0,
+                committed: 0,
+                episode_attempts: 0,
+                attempts: 0,
+                failed_over: Vec::new(),
+                payload_moved: 0,
+                decision_started: SimTime::ZERO,
+                audit_seq: None,
+                choice: None,
+                phase: Phase::Arrival,
+            });
+        }
+        driver.run()?;
+        let raw = driver.outcomes;
+        let finished = self.sim.now();
+        let outcomes: Vec<ReplayOutcome> = raw
+            .into_iter()
+            .map(|o| o.expect("every replay job reached a terminal state"))
+            .collect();
+        let completed = outcomes.iter().filter(|o| o.status.is_completed()).count();
+        self.obs.emit(
+            Event::new(finished, "replay", "replay.end")
+                .with("completed", completed)
+                .with("failed", outcomes.len() - completed)
+                .with("makespan_secs", (finished - started).as_secs_f64()),
+        );
+        Ok(ReplayReport {
+            outcomes,
+            started,
+            finished,
+        })
+    }
+}
+
+impl Driver<'_> {
+    fn run(&mut self) -> Result<(), GridError> {
+        while self.remaining > 0 {
+            let ev = self
+                .grid
+                .sim
+                .next_event()
+                .expect("pending replay jobs keep the queue non-empty");
+            // 1. Control timers (arrival, decision latency, backoff,
+            //    local read) — exact token match.
+            if let EventKind::TimerFired(tok) = &ev.kind {
+                if let Some(idx) = self.timers.remove(tok) {
+                    self.on_control(idx)?;
+                    continue;
+                }
+            }
+            // 2. Session-owned events (data flows, watchdogs), scanned in
+            //    job order for determinism.
+            let owner = self.states.iter().position(
+                |st| matches!(&st.phase, Phase::Transferring(session) if session.owns(&ev)),
+            );
+            if let Some(idx) = owner {
+                self.on_session_event(idx, &ev)?;
+                continue;
+            }
+            // 3. Grid plumbing: monitoring, probes, faults, stale timers.
+            let monitor_tick = matches!(ev.kind, EventKind::TimerFired(TOK_MONITOR));
+            self.grid.handle_internal(&ev);
+            if monitor_tick {
+                // Host loads just advanced: push fresh disk/CPU limits
+                // into every running transfer, as the blocking paths do.
+                for st in &mut self.states {
+                    if let Phase::Transferring(session) = &mut st.phase {
+                        let choice = st.choice.as_ref().expect("transferring jobs have a choice");
+                        let fresh = [self.grid.endpoint_for(choice.host)];
+                        let dst_fresh = self.grid.endpoint_for(st.client);
+                        session.refresh_endpoints(&mut self.grid.sim, &fresh, dst_fresh);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates a control token for `idx` firing after `pause`.
+    fn schedule_control(&mut self, idx: usize, pause: SimDuration) {
+        let token = self.grid.alloc_session_tokens();
+        self.grid.sim.schedule_timer_after(pause, token);
+        self.timers.insert(token, idx);
+    }
+
+    fn on_control(&mut self, idx: usize) -> Result<(), GridError> {
+        match std::mem::replace(&mut self.states[idx].phase, Phase::Done) {
+            Phase::Arrival => {
+                self.states[idx].decision_started = self.grid.sim.now();
+                self.states[idx].phase = Phase::Deciding;
+                let latency = self.grid.service_latency(self.states[idx].client);
+                self.schedule_control(idx, latency);
+                Ok(())
+            }
+            Phase::Deciding => self.decide(idx),
+            Phase::Backoff { pause } => {
+                let st = &self.states[idx];
+                let choice = st.choice.as_ref().expect("backoff implies a choice");
+                let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
+                let (attempt, committed) = (st.episode_attempts + 1, st.committed);
+                self.grid.obs.metrics_mut().inc("transfer.retries");
+                self.grid.obs.emit(
+                    Event::new(self.grid.sim.now(), "gridftp", "transfer.retry")
+                        .with("src", src_name.as_str())
+                        .with("dst", dst_name.as_str())
+                        .with("attempt", attempt)
+                        .with("backoff_secs", pause.as_secs_f64())
+                        .with("resume_offset", committed),
+                );
+                self.start_attempt(idx)
+            }
+            Phase::LocalRead { started } => {
+                let now = self.grid.sim.now();
+                let st = &mut self.states[idx];
+                st.attempts += 1;
+                let bytes = st.total_bytes;
+                let name = st.client_name.clone();
+                let outcome = TransferOutcome {
+                    payload_bytes: bytes,
+                    wire_bytes: 0,
+                    streams: 0,
+                    stripes: 0,
+                    started,
+                    finished: now,
+                    phases: vec![PhaseRecord {
+                        name: "data",
+                        start: started,
+                        end: now,
+                    }],
+                };
+                self.grid.pending_lfn = Some(self.states[idx].lfn.clone());
+                self.grid.record_transfer(&name, &name, "local", &outcome);
+                self.finish_transfer(idx, &outcome, true);
+                Ok(())
+            }
+            Phase::Transferring(_) | Phase::Done => {
+                unreachable!("control timers only target waiting jobs")
+            }
+        }
+    }
+
+    /// Scores candidates, records the decision and launches the chosen
+    /// replica's first attempt. Re-entered after an abandon with the
+    /// failed hosts excluded (the `"failover"` policy label).
+    fn decide(&mut self, idx: usize) -> Result<(), GridError> {
+        let client = self.states[idx].client;
+        let lfn = self.states[idx].lfn.clone();
+        let candidates = self.grid.score_candidates(client, &lfn)?;
+        let failover = !self.states[idx].failed_over.is_empty();
+        let chosen = if failover {
+            let next = candidates
+                .iter()
+                .position(|c| !self.states[idx].failed_over.contains(&c.host_name));
+            match next {
+                Some(i) => i,
+                None => {
+                    self.fail_job(idx);
+                    return Ok(());
+                }
+            }
+        } else {
+            self.grid.selector.choose(&candidates)
+        };
+        let decision_latency = self.grid.sim.now() - self.states[idx].decision_started;
+        let seq = self.grid.obs.audit().next_seq();
+        self.grid.record_selection(
+            &lfn,
+            client,
+            &candidates,
+            chosen,
+            decision_latency,
+            failover.then_some("failover"),
+        );
+        let st = &mut self.states[idx];
+        st.audit_seq = Some(seq);
+        st.choice = Some(candidates[chosen].clone());
+        st.committed = 0;
+        st.episode_attempts = 0;
+        if !failover {
+            let name = LogicalFileName::new(&lfn)?;
+            st.total_bytes = self
+                .grid
+                .catalog
+                .lookup(&name)
+                .expect("scored candidates imply a registered file")
+                .entry()
+                .size_bytes();
+        }
+        self.start_attempt(idx)
+    }
+
+    /// Starts one transfer attempt against the current choice — a
+    /// synthesised local read for local hits, a GridFTP session
+    /// otherwise, resuming from the committed offset on retries.
+    fn start_attempt(&mut self, idx: usize) -> Result<(), GridError> {
+        let st = &self.states[idx];
+        let choice = st.choice.clone().expect("attempts follow a decision");
+        let client = st.client;
+        if choice.is_local {
+            let rate = self.grid.hosts[client.index()].available_disk_read();
+            let pause = rate.time_for_bytes(st.total_bytes);
+            self.states[idx].phase = Phase::LocalRead {
+                started: self.grid.sim.now(),
+            };
+            self.schedule_control(idx, pause);
+            return Ok(());
+        }
+        let total = st.total_bytes;
+        let committed = st.committed;
+        let req = TransferRequest::new(total)
+            .with_protocol(self.options.protocol)
+            .with_parallelism(self.options.parallelism)
+            .with_protection(self.options.protection);
+        let attempt_req = if committed == 0 {
+            req
+        } else {
+            req.with_range(committed, total - committed)
+        };
+        let cache_key = (self.grid.node_of(client), self.grid.node_of(choice.host));
+        let cached = self.grid.control_cached(cache_key);
+        let tcp = self
+            .grid
+            .tcp_for(self.grid.node_of(choice.host), self.grid.node_of(client));
+        let base = self.grid.alloc_session_tokens();
+        let mut session = TransferSession::new(
+            attempt_req,
+            self.grid.endpoint_for(choice.host),
+            self.grid.endpoint_for(client),
+            tcp,
+            base,
+        )?
+        .with_costs(self.grid.costs)
+        .with_cached_control(cached)
+        .with_stall_timeout(self.recovery.stall_timeout);
+        let st = &mut self.states[idx];
+        st.episode_attempts += 1;
+        st.attempts += 1;
+        session.start(&mut self.grid.sim);
+        st.phase = Phase::Transferring(Box::new(session));
+        Ok(())
+    }
+
+    fn on_session_event(
+        &mut self,
+        idx: usize,
+        ev: &datagrid_simnet::engine::SimEvent,
+    ) -> Result<(), GridError> {
+        let status = {
+            let Phase::Transferring(session) = &mut self.states[idx].phase else {
+                unreachable!("owner scan only matches transferring jobs");
+            };
+            session.handle(&mut self.grid.sim, ev)
+        };
+        match status {
+            SessionStatus::InProgress => Ok(()),
+            SessionStatus::Complete(outcome) => {
+                let st = &mut self.states[idx];
+                let choice = st.choice.as_ref().expect("transferring jobs have a choice");
+                let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
+                let cache_key = (self.grid.node_of(st.client), self.grid.node_of(choice.host));
+                st.payload_moved += outcome.payload_bytes;
+                self.grid.remember_control(cache_key);
+                self.grid.pending_lfn = Some(self.states[idx].lfn.clone());
+                let protocol = protocol_label(self.options.protocol);
+                self.grid
+                    .record_transfer(&src_name, &dst_name, protocol, &outcome);
+                self.finish_transfer(idx, &outcome, false);
+                Ok(())
+            }
+            SessionStatus::Failed(failure) => {
+                let st = &mut self.states[idx];
+                let choice = st.choice.as_ref().expect("transferring jobs have a choice");
+                let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
+                st.committed += failure.restart_offset();
+                st.payload_moved += failure.delivered_payload;
+                st.phase = Phase::Done; // placeholder until rescheduled below
+                let (attempts, committed) = (st.episode_attempts, st.committed);
+                self.grid.obs.metrics_mut().inc("transfer.stalls");
+                self.grid.obs.emit(
+                    Event::new(failure.at, "gridftp", "transfer.stall")
+                        .with("src", src_name.as_str())
+                        .with("dst", dst_name.as_str())
+                        .with("attempt", attempts)
+                        .with("delivered", failure.delivered_payload)
+                        .with("committed", committed)
+                        .with("resumable", failure.resumable),
+                );
+                if self.recovery.retry.exhausted(attempts) {
+                    self.abandon_replica(idx)
+                } else {
+                    let pause = self
+                        .recovery
+                        .retry
+                        .backoff(attempts - 1, &mut self.grid.recovery_rng);
+                    self.states[idx].phase = Phase::Backoff { pause };
+                    self.schedule_control(idx, pause);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The current replica's retries are exhausted: mark it suspect,
+    /// record the failover, and either fail the job or schedule the next
+    /// decision round.
+    fn abandon_replica(&mut self, idx: usize) -> Result<(), GridError> {
+        let st = &mut self.states[idx];
+        let choice = st.choice.take().expect("abandon follows attempts");
+        self.grid.obs.metrics_mut().inc("transfer.abandoned");
+        self.grid.obs.emit(
+            Event::new(self.grid.sim.now(), "gridftp", "transfer.abandoned")
+                .with("src", choice.host_name.as_str())
+                .with("dst", st.client_name.as_str())
+                .with("attempts", st.episode_attempts)
+                .with("delivered", st.committed),
+        );
+        self.grid.catalog.mark_suspect(&choice.location);
+        self.grid.obs.metrics_mut().inc("selection.failovers");
+        self.grid.obs.emit(
+            Event::new(self.grid.sim.now(), "select", "selection.failover")
+                .with("lfn", st.lfn.as_str())
+                .with("abandoned", choice.host_name.as_str())
+                .with("attempts", st.episode_attempts)
+                .with("delivered", st.committed),
+        );
+        st.failed_over.push(choice.host_name);
+        if st.failed_over.len() as u64 > u64::from(self.recovery.max_failovers) {
+            self.fail_job(idx);
+            return Ok(());
+        }
+        self.states[idx].decision_started = self.grid.sim.now();
+        self.states[idx].phase = Phase::Deciding;
+        let latency = self.grid.service_latency(self.states[idx].client);
+        self.schedule_control(idx, latency);
+        Ok(())
+    }
+
+    /// Terminal success: attach the measured time to this job's decision
+    /// and record the outcome.
+    fn finish_transfer(&mut self, idx: usize, outcome: &TransferOutcome, local_hit: bool) {
+        let st = &mut self.states[idx];
+        let choice = st.choice.as_ref().expect("finishing jobs have a choice");
+        let winner = choice.host_name.clone();
+        if local_hit {
+            st.payload_moved += outcome.payload_bytes;
+        }
+        let delivered = st.committed + outcome.payload_bytes;
+        if let Some(seq) = st.audit_seq {
+            let secs = outcome.duration().as_secs_f64();
+            if let Some(decision) = self.grid.obs.audit_mut().decision_mut_by_seq(seq) {
+                decision.attach_measured(&winner, secs);
+            }
+        }
+        let st = &self.states[idx];
+        self.grid.obs.metrics_mut().inc("replay.completed");
+        self.grid.obs.emit(
+            Event::new(self.grid.sim.now(), "replay", "replay.job.done")
+                .with("client", st.client_name.as_str())
+                .with("lfn", st.lfn.as_str())
+                .with("winner", winner.as_str())
+                .with("bytes", delivered)
+                .with("secs", (self.grid.sim.now() - st.submitted).as_secs_f64()),
+        );
+        self.outcomes[idx] = Some(ReplayOutcome {
+            client: st.client_name.clone(),
+            lfn: st.lfn.clone(),
+            submitted: st.submitted,
+            finished: self.grid.sim.now(),
+            attempts: st.attempts,
+            failovers: st.failed_over.len() as u32,
+            payload_moved: st.payload_moved,
+            status: ReplayStatus::Completed {
+                winner,
+                bytes: delivered,
+                local_hit,
+            },
+        });
+        self.states[idx].phase = Phase::Done;
+        self.remaining -= 1;
+    }
+
+    /// Terminal failure: every candidate the policy allowed was tried and
+    /// abandoned.
+    fn fail_job(&mut self, idx: usize) {
+        let st = &self.states[idx];
+        self.grid.obs.metrics_mut().inc("replay.failed");
+        self.grid.obs.emit(
+            Event::new(self.grid.sim.now(), "replay", "replay.job.failed")
+                .with("client", st.client_name.as_str())
+                .with("lfn", st.lfn.as_str())
+                .with("failed_over", st.failed_over.len()),
+        );
+        self.outcomes[idx] = Some(ReplayOutcome {
+            client: st.client_name.clone(),
+            lfn: st.lfn.clone(),
+            submitted: st.submitted,
+            finished: self.grid.sim.now(),
+            attempts: st.attempts,
+            failovers: st.failed_over.len() as u32,
+            payload_moved: st.payload_moved,
+            status: ReplayStatus::Failed {
+                failed: st.failed_over.clone(),
+            },
+        });
+        self.states[idx].phase = Phase::Done;
+        self.remaining -= 1;
+    }
+}

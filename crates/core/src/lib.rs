@@ -54,7 +54,8 @@ pub mod tuning;
 pub use cost::{CostModel, Weights};
 pub use error::GridError;
 pub use factors::{CandidateScore, SystemFactors};
-pub use grid::{DataGrid, FetchOptions, FetchReport, GridBuilder};
+pub use grid::replay::{ReplayJob, ReplayOutcome, ReplayReport, ReplayStatus};
+pub use grid::{DataGrid, FetchOptions, FetchReport, GridBuilder, SelectionMode};
 pub use policy::{ReplicaSelector, SelectionPolicy};
 pub use recovery::{RecoveredFetch, RecoveryOptions};
 
@@ -63,7 +64,8 @@ pub mod prelude {
     pub use crate::cost::{CostModel, Weights};
     pub use crate::error::GridError;
     pub use crate::factors::{CandidateScore, SystemFactors};
-    pub use crate::grid::{DataGrid, FetchOptions, FetchReport, GridBuilder};
+    pub use crate::grid::replay::{ReplayJob, ReplayOutcome, ReplayReport, ReplayStatus};
+    pub use crate::grid::{DataGrid, FetchOptions, FetchReport, GridBuilder, SelectionMode};
     pub use crate::history::CostHistory;
     pub use crate::job::{JobReport, JobSpec};
     pub use crate::policy::{ReplicaSelector, SelectionPolicy};

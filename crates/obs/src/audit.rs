@@ -258,6 +258,23 @@ impl SelectionAuditLog {
         self.decisions.last_mut()
     }
 
+    /// The sequence number the *next* recorded decision will get.
+    /// Sequence numbers count every decision ever recorded (retained or
+    /// evicted), so they are stable handles: capture `next_seq()` just
+    /// before recording and the pair survives later evictions.
+    pub fn next_seq(&self) -> u64 {
+        self.dropped + self.decisions.len() as u64
+    }
+
+    /// Mutable access to the decision with sequence number `seq`, or
+    /// `None` once it has been evicted. Concurrent workloads interleave
+    /// decisions, so "the last entry" is not necessarily "my entry" —
+    /// this is the indexed counterpart of [`SelectionAuditLog::last_mut`].
+    pub fn decision_mut_by_seq(&mut self, seq: u64) -> Option<&mut SelectionDecision> {
+        let idx = usize::try_from(seq.checked_sub(self.dropped)?).ok()?;
+        self.decisions.get_mut(idx)
+    }
+
     /// Number of retained decisions.
     pub fn len(&self) -> usize {
         self.decisions.len()

@@ -300,6 +300,28 @@ impl CompScratch {
         }
     }
 
+    /// Element capacity currently pinned by the stamp arrays and
+    /// worklists.
+    fn footprint(&self) -> usize {
+        self.flow_stamp.capacity()
+            + self.link_stamp.capacity()
+            + self.flows.capacity()
+            + self.links.capacity()
+    }
+
+    /// Trims the stamp arrays to the current `flow_slots`/`links` extents
+    /// and releases the worklists. The stamp counter is preserved, so
+    /// marks for retained slots stay valid; `begin` regrows everything on
+    /// demand.
+    fn shrink(&mut self, flow_slots: usize, links: usize) {
+        self.flow_stamp.truncate(flow_slots);
+        self.flow_stamp.shrink_to_fit();
+        self.link_stamp.truncate(links);
+        self.link_stamp.shrink_to_fit();
+        self.flows = Vec::new();
+        self.links = Vec::new();
+    }
+
     /// Breadth-first closure: every flow crossing a reached link is added,
     /// and its route links extend the frontier, until fixpoint.
     fn expand(&mut self, flows: &[Option<FlowState>], link_flows: &[Vec<u32>]) {
@@ -482,6 +504,62 @@ impl NetSim {
     /// Lifetime engine counters (events, timers, flows, bytes, solves).
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Total element capacity held by the reusable scratch structures: the
+    /// flow slab, free list, per-link flow indexes, stamped component
+    /// walkers and solver buffers (both the settle path's and the probe's).
+    ///
+    /// This is the high-water mark left behind by the busiest moment the
+    /// engine has seen; pair with [`NetSim::shrink_scratch`] to measure and
+    /// reclaim it between workload sweeps.
+    pub fn scratch_footprint(&self) -> usize {
+        let probe = self.probe.borrow();
+        self.flows.capacity()
+            + self.free_slots.capacity()
+            + self
+                .link_flows
+                .iter()
+                .map(std::vec::Vec::capacity)
+                .sum::<usize>()
+            + self.comp.footprint()
+            + self.solver.scratch_capacity()
+            + probe.comp.footprint()
+            + probe.solver.scratch_capacity()
+    }
+
+    /// Compacts the engine's reusable scratch back toward the *current*
+    /// flow population.
+    ///
+    /// The slab, stamp arrays and solver buffers only ever grow with the
+    /// peak concurrent slot/link count (see `CompScratch::begin`); a burst
+    /// of thousands of flows leaves that capacity allocated forever. This
+    /// hook — intended to run between replay sweeps, when the grid is
+    /// (near-)idle — trims trailing free slots from the slab, truncates the
+    /// stamp arrays to the surviving slot count and releases the worklist
+    /// and solver buffers. Live flows are untouched: slot indices of
+    /// retained flows never change, so the per-link indexes and any
+    /// in-flight completions stay valid, and every buffer regrows on
+    /// demand.
+    pub fn shrink_scratch(&mut self) {
+        // Pop trailing empty slots; interior empties must stay (their
+        // indices are burned into `free_slots` and `link_flows` ordering).
+        while matches!(self.flows.last(), Some(None)) {
+            self.flows.pop();
+        }
+        let slots = self.flows.len();
+        self.free_slots.retain(|&s| (s as usize) < slots);
+        self.flows.shrink_to_fit();
+        self.free_slots.shrink_to_fit();
+        for per_link in &mut self.link_flows {
+            per_link.shrink_to_fit();
+        }
+        let links = self.link_caps.len();
+        self.comp.shrink(slots, links);
+        self.solver.shrink();
+        let mut probe = self.probe.borrow_mut();
+        probe.comp.shrink(slots, links);
+        probe.solver.shrink();
     }
 
     /// Installs a background traffic profile; the first arrival is
@@ -1489,6 +1567,67 @@ mod tests {
         }
         assert_eq!(completions, sizes.len());
         assert_eq!(total_done, sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn shrink_scratch_releases_high_water_capacity() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 7);
+        // High-water burst: hundreds of concurrent flows grow the slab,
+        // stamp arrays, per-link indexes and solver buffers.
+        for i in 0..512 {
+            sim.start_flow(FlowSpec::new(a, c, 100_000 + i));
+        }
+        while sim.next_event().is_some() {}
+        assert_eq!(sim.active_flow_count(), 0);
+        let high_water = sim.scratch_footprint();
+        assert!(
+            high_water >= 512,
+            "burst should leave capacity behind, got {high_water}"
+        );
+        sim.shrink_scratch();
+        let compacted = sim.scratch_footprint();
+        assert!(
+            compacted < high_water / 4,
+            "shrink_scratch kept {compacted} of {high_water} elements"
+        );
+        // The engine still works after compaction, and the buffers regrow
+        // only to what the new load needs.
+        let id = sim.start_flow(FlowSpec::new(a, c, 2_500_000));
+        let ev = sim.next_event().expect("flow completes after shrink");
+        match ev.kind {
+            EventKind::FlowCompleted(d) => {
+                assert_eq!(d.id, id);
+                assert_eq!(d.bytes, 2_500_000);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(sim.scratch_footprint() < high_water / 4);
+    }
+
+    #[test]
+    fn shrink_scratch_preserves_live_flows() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 11);
+        // Burst and drain a large population, then shrink while one flow
+        // is still in flight: it must finish with the right byte count.
+        for _ in 0..256 {
+            sim.start_flow(FlowSpec::new(a, c, 50_000));
+        }
+        while sim.active_flow_count() > 0 {
+            sim.next_event();
+        }
+        let id = sim.start_flow(FlowSpec::new(a, c, 4_000_000));
+        sim.shrink_scratch();
+        let mut done = false;
+        while let Some(ev) = sim.next_event() {
+            if let EventKind::FlowCompleted(d) = ev.kind {
+                assert_eq!(d.id, id);
+                assert_eq!(d.bytes, 4_000_000);
+                done = true;
+            }
+        }
+        assert!(done);
     }
 }
 

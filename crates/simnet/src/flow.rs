@@ -96,6 +96,26 @@ impl MaxMinSolver {
         MaxMinSolver::default()
     }
 
+    /// Element capacity currently held by the reusable buffers.
+    pub fn scratch_capacity(&self) -> usize {
+        self.rate.capacity()
+            + self.frozen.capacity()
+            + self.cap.capacity()
+            + self.remaining.capacity()
+            + self.users.capacity()
+    }
+
+    /// Releases the reusable buffers (they regrow on the next solve).
+    /// Buffers retain the high-water flow/link counts otherwise; the
+    /// engine calls this from [`crate::engine::NetSim::shrink_scratch`].
+    pub fn shrink(&mut self) {
+        self.rate = Vec::new();
+        self.frozen = Vec::new();
+        self.cap = Vec::new();
+        self.remaining = Vec::new();
+        self.users = Vec::new();
+    }
+
     /// Computes the max-min fair allocation for `n` flows.
     ///
     /// * `route(i)` / `cap_bps(i)` describe flow `i` (routes may be asked

@@ -1,0 +1,345 @@
+//! The grid-scale figure: deterministic multi-client replay sweeps.
+//!
+//! Every prior figure measures one transfer at a time. This harness runs
+//! the paper's testbed as a *grid*: N concurrent clients (seeded arrival
+//! times, Zipf file popularity — see [`crate::workload::grid_workload`])
+//! replayed through [`DataGrid::replay_concurrent`] against one shared
+//! simulator, so selection decisions are made while other clients'
+//! transfers are consuming the links being scored.
+//!
+//! Each sweep cell builds its own grid from its own seed fork, which
+//! makes cells independent: [`run_grid_scale`] fans them out with
+//! [`crate::par::par_map`] and the output is byte-identical for any
+//! `DATAGRID_JOBS` worker count. The per-cell numbers (fetches/sec,
+//! latency percentiles, solver settle counters, failover counts, scratch
+//! high-water marks) render into the deterministic `BENCH_grid.json`
+//! body via [`GridScaleReport::render_json`].
+
+use std::fmt::Write as _;
+
+use datagrid_core::prelude::{DataGrid, FetchOptions, RecoveryOptions, SelectionMode};
+use datagrid_simnet::stats::percentile;
+use datagrid_simnet::time::SimDuration;
+
+use crate::experiment::{obs_dump, ObsDump};
+use crate::par::par_map;
+use crate::sites::{paper_testbed, HIT_HOSTS, LIZEN_HOSTS, THU_HOSTS};
+use crate::workload::{grid_workload, GridWorkload, GridWorkloadSpec};
+
+/// Configuration of one grid-scale sweep (everything except the client
+/// count, which is the sweep axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridScaleConfig {
+    /// Logical files in each cell's generated catalog.
+    pub files: usize,
+    /// Replica placements per file.
+    pub replicas_per_file: usize,
+    /// Median file size in bytes.
+    pub median_bytes: u64,
+    /// Fetches issued by each client.
+    pub requests_per_client: usize,
+    /// Mean client inter-arrival time.
+    pub mean_inter_arrival: SimDuration,
+    /// Sensor warm-up before the replay starts.
+    pub warm: SimDuration,
+    /// How the selection server reads `BW_P` during the replay.
+    pub mode: SelectionMode,
+    /// Parallel TCP streams per transfer (0 = stream mode).
+    pub parallelism: u32,
+}
+
+impl Default for GridScaleConfig {
+    fn default() -> Self {
+        GridScaleConfig {
+            files: 48,
+            replicas_per_file: 2,
+            median_bytes: 4 << 20,
+            requests_per_client: 1,
+            mean_inter_arrival: SimDuration::from_secs(2),
+            warm: SimDuration::from_secs(60),
+            mode: SelectionMode::ContentionAware,
+            parallelism: 0,
+        }
+    }
+}
+
+/// The deterministic numbers of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridScaleCell {
+    /// Concurrent clients replayed in this cell.
+    pub clients: usize,
+    /// Selection mode label (`"static"` / `"contention-aware"`).
+    pub mode: &'static str,
+    /// Fetches submitted.
+    pub fetches: usize,
+    /// Fetches that delivered their full file.
+    pub completed: usize,
+    /// Fetches that exhausted every candidate.
+    pub failed: usize,
+    /// Replicas abandoned in favour of the next-best candidate.
+    pub failovers: u64,
+    /// Simulated seconds from replay start to the last terminal state.
+    pub makespan_s: f64,
+    /// Completed fetches per simulated second.
+    pub fetches_per_sec: f64,
+    /// Median fetch latency (submission → terminal), seconds.
+    pub p50_s: f64,
+    /// 95th-percentile fetch latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile fetch latency, seconds.
+    pub p99_s: f64,
+    /// Component-scoped rate solves performed by the engine.
+    pub incremental_solves: u64,
+    /// Whole-grid rate solves performed by the engine.
+    pub full_solves: u64,
+    /// Total flows handed to the solver across all solves.
+    pub solver_flows_touched: u64,
+    /// Scratch element capacity left by the burst, before compaction.
+    pub scratch_high_water: usize,
+    /// Scratch element capacity after [`DataGrid::shrink_network_scratch`].
+    pub scratch_after_shrink: usize,
+}
+
+/// One executed cell: the numbers plus the full observability dump
+/// (events, audit, metrics) of the cell's grid.
+#[derive(Debug, Clone)]
+pub struct GridScaleRun {
+    /// The deterministic cell numbers.
+    pub cell: GridScaleCell,
+    /// The cell grid's observability export.
+    pub obs: ObsDump,
+}
+
+/// A whole sweep, ready to render as `BENCH_grid.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridScaleReport {
+    /// The sweep's base seed.
+    pub seed: u64,
+    /// One entry per sweep cell, in input order.
+    pub cells: Vec<GridScaleCell>,
+}
+
+impl GridScaleReport {
+    /// Collects the cells of executed runs (in order).
+    pub fn from_runs(seed: u64, runs: &[GridScaleRun]) -> Self {
+        GridScaleReport {
+            seed,
+            cells: runs.iter().map(|r| r.cell.clone()).collect(),
+        }
+    }
+
+    /// Renders the deterministic `BENCH_grid.json` body: same seed (and
+    /// any `DATAGRID_JOBS`) ⇒ byte-identical output. No wall-clock or
+    /// environment data is included.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"name\": \"grid-scale\",\n");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"clients\": {},", c.clients);
+            let _ = writeln!(out, "      \"mode\": \"{}\",", c.mode);
+            let _ = writeln!(out, "      \"fetches\": {},", c.fetches);
+            let _ = writeln!(out, "      \"completed\": {},", c.completed);
+            let _ = writeln!(out, "      \"failed\": {},", c.failed);
+            let _ = writeln!(out, "      \"failovers\": {},", c.failovers);
+            let _ = writeln!(out, "      \"makespan_s\": {:.6},", c.makespan_s);
+            let _ = writeln!(out, "      \"fetches_per_sec\": {:.6},", c.fetches_per_sec);
+            let _ = writeln!(out, "      \"latency_p50_s\": {:.6},", c.p50_s);
+            let _ = writeln!(out, "      \"latency_p95_s\": {:.6},", c.p95_s);
+            let _ = writeln!(out, "      \"latency_p99_s\": {:.6},", c.p99_s);
+            let _ = writeln!(
+                out,
+                "      \"incremental_solves\": {},",
+                c.incremental_solves
+            );
+            let _ = writeln!(out, "      \"full_solves\": {},", c.full_solves);
+            let _ = writeln!(
+                out,
+                "      \"solver_flows_touched\": {},",
+                c.solver_flows_touched
+            );
+            let _ = writeln!(
+                out,
+                "      \"scratch_high_water\": {},",
+                c.scratch_high_water
+            );
+            let _ = writeln!(
+                out,
+                "      \"scratch_after_shrink\": {}",
+                c.scratch_after_shrink
+            );
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// All twelve paper-testbed hosts, THU then Li-Zen then HIT.
+pub fn all_paper_hosts() -> Vec<&'static str> {
+    THU_HOSTS
+        .iter()
+        .chain(LIZEN_HOSTS.iter())
+        .chain(HIT_HOSTS.iter())
+        .copied()
+        .collect()
+}
+
+/// The workload a cell replays, derived from the cell's own seed fork so
+/// cells stay independent.
+fn cell_seed(seed: u64, clients: usize, mode: SelectionMode) -> u64 {
+    let mode_salt = match mode {
+        SelectionMode::Static => 0x5747,
+        SelectionMode::ContentionAware => 0xC047,
+    };
+    seed ^ (clients as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ mode_salt
+}
+
+/// Builds a cell's grid and installed workload without replaying it
+/// (shared by [`run_grid_scale_cell`] and the property tests).
+pub fn build_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> (DataGrid, GridWorkload) {
+    let cseed = cell_seed(seed, clients, cfg.mode);
+    let mut builder = paper_testbed(cseed);
+    builder.selection_mode(cfg.mode);
+    let mut grid = builder.build();
+    let hosts = all_paper_hosts();
+    let spec = GridWorkloadSpec {
+        clients,
+        files: cfg.files,
+        replicas_per_file: cfg.replicas_per_file,
+        median_bytes: cfg.median_bytes,
+        requests_per_client: cfg.requests_per_client,
+        mean_inter_arrival: cfg.mean_inter_arrival,
+    };
+    let workload = grid_workload(&spec, &hosts, cseed);
+    workload
+        .install(&mut grid)
+        .expect("generated workload installs cleanly");
+    grid.warm_up(cfg.warm);
+    (grid, workload)
+}
+
+/// Runs one sweep cell to completion: build, warm up, replay, measure,
+/// compact scratch, export observability.
+pub fn run_grid_scale_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> GridScaleRun {
+    let (mut grid, workload) = build_cell(seed, clients, cfg);
+    let jobs = workload.jobs(&grid);
+    let options = FetchOptions::default().with_parallelism(cfg.parallelism);
+    let recovery = RecoveryOptions::default();
+    let report = grid
+        .replay_concurrent(&jobs, options, &recovery)
+        .expect("generated workloads only fail per-job");
+    let latencies: Vec<f64> = report
+        .outcomes
+        .iter()
+        .map(|o| o.latency().as_secs_f64())
+        .collect();
+    let stats = grid.network().stats();
+    // The satellite fix in action: compact the engine scratch between
+    // sweeps and report how much the burst had pinned.
+    let scratch_high_water = grid.network().scratch_footprint();
+    grid.shrink_network_scratch();
+    let scratch_after_shrink = grid.network().scratch_footprint();
+    let completed = report.completed();
+    let makespan_s = report.makespan().as_secs_f64();
+    let cell = GridScaleCell {
+        clients,
+        mode: cfg.mode.label(),
+        fetches: report.outcomes.len(),
+        completed,
+        failed: report.failed(),
+        failovers: report.outcomes.iter().map(|o| u64::from(o.failovers)).sum(),
+        makespan_s,
+        fetches_per_sec: if makespan_s > 0.0 {
+            completed as f64 / makespan_s
+        } else {
+            0.0
+        },
+        p50_s: percentile(&latencies, 0.50),
+        p95_s: percentile(&latencies, 0.95),
+        p99_s: percentile(&latencies, 0.99),
+        incremental_solves: stats.incremental_solves,
+        full_solves: stats.full_solves,
+        solver_flows_touched: stats.solver_flows_touched,
+        scratch_high_water,
+        scratch_after_shrink,
+    };
+    GridScaleRun {
+        cell,
+        obs: obs_dump(&grid),
+    }
+}
+
+/// Runs the whole sweep — one cell per client count — on worker threads
+/// ([`par_map`]; order-preserving, `DATAGRID_JOBS` pins the worker
+/// count). Cells are seeded independently, so the result is
+/// byte-identical to a serial sweep.
+pub fn run_grid_scale(
+    seed: u64,
+    client_counts: &[usize],
+    cfg: &GridScaleConfig,
+) -> Vec<GridScaleRun> {
+    par_map(client_counts.to_vec(), |clients| {
+        run_grid_scale_cell(seed, clients, cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> GridScaleConfig {
+        GridScaleConfig {
+            files: 8,
+            warm: SimDuration::from_secs(30),
+            ..GridScaleConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_sweep_completes_and_renders() {
+        let cfg = small_cfg();
+        let runs = run_grid_scale(7, &[2, 5], &cfg);
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            assert_eq!(run.cell.fetches, run.cell.clients);
+            assert_eq!(run.cell.completed + run.cell.failed, run.cell.fetches);
+            assert!(run.cell.completed > 0, "no fetch completed");
+            assert!(run.cell.p50_s > 0.0);
+            assert!(run.cell.p99_s >= run.cell.p50_s);
+            assert!(run.cell.scratch_after_shrink <= run.cell.scratch_high_water);
+            assert!(run.obs.events_jsonl.contains("replay.end"));
+        }
+        let report = GridScaleReport::from_runs(7, &runs);
+        let json = report.render_json();
+        assert!(json.contains("\"clients\": 5"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn sweep_is_seed_deterministic() {
+        let cfg = small_cfg();
+        let a = GridScaleReport::from_runs(11, &run_grid_scale(11, &[3], &cfg));
+        let b = GridScaleReport::from_runs(11, &run_grid_scale(11, &[3], &cfg));
+        assert_eq!(a.render_json(), b.render_json());
+        let c = GridScaleReport::from_runs(12, &run_grid_scale(12, &[3], &cfg));
+        assert_ne!(a.render_json(), c.render_json());
+    }
+
+    #[test]
+    fn static_mode_cell_runs() {
+        let cfg = GridScaleConfig {
+            mode: SelectionMode::Static,
+            ..small_cfg()
+        };
+        let run = run_grid_scale_cell(3, 4, &cfg);
+        assert_eq!(run.cell.mode, "static");
+        assert_eq!(run.cell.completed + run.cell.failed, 4);
+    }
+}

@@ -6,7 +6,11 @@
 //!   latencies, loss rates, background traffic, disks, GSI cost),
 //! * [`sites`] — the three-cluster testbed (THU, Li-Zen, HIT) wired to a
 //!   TANet backbone, with the paper's host names,
-//! * [`workload`] — request workloads over replicated files,
+//! * [`workload`] — request workloads over replicated files, including
+//!   the deterministic multi-client grid-scale generator,
+//! * [`gridscale`] — the grid-scale sweep harness: N concurrent clients
+//!   replayed against one shared simulator, per-cell metrics and the
+//!   deterministic `BENCH_grid.json` body,
 //! * [`experiment`] — text-table rendering and the selection-quality
 //!   harness (oracle comparison) used by the benches,
 //! * [`par`] — deterministic order-preserving parallel map for the bench
@@ -17,6 +21,7 @@
 
 pub mod calibration;
 pub mod experiment;
+pub mod gridscale;
 pub mod par;
 pub mod sites;
 pub mod workload;
@@ -29,7 +34,13 @@ pub mod prelude {
     pub use crate::experiment::{
         obs_dump, replay_trace, selection_quality, write_obs_dump, ObsDump, QualityStats, TextTable,
     };
+    pub use crate::gridscale::{
+        all_paper_hosts, build_cell, run_grid_scale, run_grid_scale_cell, GridScaleCell,
+        GridScaleConfig, GridScaleReport, GridScaleRun,
+    };
     pub use crate::par::{par_map, worker_count};
     pub use crate::sites::{canonical_host, paper_testbed, PaperSites};
-    pub use crate::workload::{Request, RequestTrace};
+    pub use crate::workload::{
+        grid_workload, synthetic_files, GridWorkload, GridWorkloadSpec, Request, RequestTrace,
+    };
 }

@@ -1,5 +1,7 @@
 //! Request workloads over replicated files.
 
+use datagrid_catalog::name::{LogicalFileName, PhysicalFileName};
+use datagrid_core::prelude::{DataGrid, GridError, ReplayJob};
 use datagrid_simnet::rng::SimRng;
 use datagrid_simnet::time::{SimDuration, SimTime};
 
@@ -110,6 +112,162 @@ impl IntoIterator for RequestTrace {
     type IntoIter = std::vec::IntoIter<Request>;
     fn into_iter(self) -> Self::IntoIter {
         self.requests.into_iter()
+    }
+}
+
+/// Shape of a deterministic N-client grid-scale workload (see
+/// [`grid_workload`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridWorkloadSpec {
+    /// Concurrent logical clients, mapped round-robin onto the grid's
+    /// hosts.
+    pub clients: usize,
+    /// Logical files in the generated catalog.
+    pub files: usize,
+    /// Replica placements per file (clamped to the host count).
+    pub replicas_per_file: usize,
+    /// Median file size (lognormal spread, see [`synthetic_files`]).
+    pub median_bytes: u64,
+    /// Fetches issued by each client.
+    pub requests_per_client: usize,
+    /// Mean of each client's exponential inter-arrival time.
+    pub mean_inter_arrival: SimDuration,
+}
+
+impl Default for GridWorkloadSpec {
+    fn default() -> Self {
+        GridWorkloadSpec {
+            clients: 16,
+            files: 32,
+            replicas_per_file: 2,
+            median_bytes: 4 << 20,
+            requests_per_client: 1,
+            mean_inter_arrival: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A generated grid-scale workload: a file catalog, seeded replica
+/// placements, and a time-ordered multi-client request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridWorkload {
+    /// `(logical name, size in bytes)` per generated file.
+    pub files: Vec<(String, u64)>,
+    /// Host names holding a replica, per file (same order as `files`).
+    pub placements: Vec<Vec<String>>,
+    /// The merged request trace, sorted by arrival time.
+    pub trace: RequestTrace,
+}
+
+impl GridWorkload {
+    /// Registers every generated file and replica placement into `grid`'s
+    /// catalog (the data is assumed to pre-exist on the placed hosts, as
+    /// with [`DataGrid::place_replica`]).
+    ///
+    /// # Errors
+    ///
+    /// Catalog errors (duplicate names) or invalid file names.
+    pub fn install(&self, grid: &mut DataGrid) -> Result<(), GridError> {
+        for ((lfn, bytes), hosts) in self.files.iter().zip(&self.placements) {
+            let name = LogicalFileName::new(lfn)?;
+            let locations = hosts
+                .iter()
+                .map(|host| PhysicalFileName::new(host, format!("/storage/{lfn}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            grid.catalog_mut()
+                .register_logical_with_replicas(name, *bytes, locations)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the request trace into [`ReplayJob`]s against `grid`
+    /// (host names become [`datagrid_sysmon::host::HostId`]s), ready for
+    /// [`DataGrid::replay_concurrent`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace client is not a host of `grid`.
+    pub fn jobs(&self, grid: &DataGrid) -> Vec<ReplayJob> {
+        self.trace
+            .requests()
+            .iter()
+            .map(|r| ReplayJob {
+                at: r.at,
+                client: grid
+                    .host_id(&r.client)
+                    .unwrap_or_else(|| panic!("workload client {:?} is not a grid host", r.client)),
+                lfn: r.lfn.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Generates a deterministic multi-client workload over `hosts`:
+///
+/// * a catalog of [`GridWorkloadSpec::files`] logical files with
+///   lognormal sizes,
+/// * [`GridWorkloadSpec::replicas_per_file`] seeded distinct placements
+///   per file,
+/// * per-client request schedules with seeded exponential inter-arrival
+///   times and Zipf(1) file popularity, merged into one time-ordered
+///   trace.
+///
+/// Every draw comes from forks of `seed`, so the same seed reproduces
+/// the workload byte-for-byte and different seeds diverge.
+///
+/// # Panics
+///
+/// Panics if `hosts` is empty or the spec has zero clients/files.
+pub fn grid_workload(spec: &GridWorkloadSpec, hosts: &[&str], seed: u64) -> GridWorkload {
+    assert!(!hosts.is_empty(), "need at least one host");
+    assert!(spec.clients > 0, "need at least one client");
+    assert!(spec.files > 0, "need at least one file");
+    let root = SimRng::seed_from_u64(seed);
+    let files = synthetic_files(spec.files, spec.median_bytes, seed ^ 0x5eed_f11e);
+    let replicas = spec.replicas_per_file.clamp(1, hosts.len());
+    let mut place_rng = root.fork("placements");
+    let placements: Vec<Vec<String>> = (0..files.len())
+        .map(|_| {
+            let mut pool: Vec<&str> = hosts.to_vec();
+            (0..replicas)
+                .map(|_| {
+                    let i = place_rng.below(pool.len() as u64) as usize;
+                    pool.swap_remove(i).to_string()
+                })
+                .collect()
+        })
+        .collect();
+    // Zipf(1) cumulative weights over the catalog, hottest first.
+    let weights: Vec<f64> = (1..=files.len()).map(|k| 1.0 / k as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let rate = 1.0 / spec.mean_inter_arrival.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut requests = Vec::new();
+    for c in 0..spec.clients {
+        let host = hosts[c % hosts.len()];
+        let mut rng = root.fork(&format!("client:{c}"));
+        let mut t = SimTime::ZERO;
+        for _ in 0..spec.requests_per_client {
+            t += SimDuration::from_secs_f64(rng.exponential(rate));
+            let mut pick = rng.uniform(0.0, total);
+            let mut file = files.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    file = i;
+                    break;
+                }
+                pick -= w;
+            }
+            requests.push(Request {
+                at: t,
+                client: host.to_string(),
+                lfn: files[file].0.clone(),
+            });
+        }
+    }
+    GridWorkload {
+        files,
+        placements,
+        trace: RequestTrace::from_requests(requests),
     }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the grid-level scale smoke: the multi-client replay benchmark at
+# reduced client counts plus the workload determinism property test.
+#
+#   scripts/grid_smoke.sh [out.json]
+#
+# Builds the bench crate in release mode, runs the `grid_scale` binary
+# (deterministic multi-client fetch replay, static and contention-aware
+# selection side by side), writes the JSON report (default:
+# BENCH_grid.json at the repo root) and re-reads it with
+# `grid_scale --check` so a malformed report fails loudly. Then runs the
+# determinism property test that pins same-seed ⇒ byte-identical reports
+# and obs exports. Shape and determinism only — not a performance gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_grid.json}"
+
+# CI-sized sweep: big enough to exercise real contention, small enough
+# to stay in seconds. The default 16..1024 sweep runs locally.
+export DATAGRID_GRID_CLIENTS="${DATAGRID_GRID_CLIENTS:-16,64,256}"
+
+cargo build --release -p datagrid-bench --bin grid_scale
+./target/release/grid_scale --out "${OUT}"
+./target/release/grid_scale --check "${OUT}"
+
+cargo test --release --test workload_determinism
