@@ -19,6 +19,10 @@
 //! (`static`, `contention`, or `both`), `DATAGRID_JOBS` (sweep worker
 //! count; output is byte-identical for any value), `DATAGRID_OBS_DIR`
 //! (dump each cell's event log / audit / metrics).
+//!
+//! `--verify` checks the max-min certificate on every cell: each solve
+//! is enforced as it happens and the settled post-replay allocation is
+//! re-verified. Slower, never changes the emitted numbers.
 
 use datagrid_bench::{banner, seed_from_args, OBS_DIR_ENV};
 use datagrid_core::prelude::SelectionMode;
@@ -157,12 +161,17 @@ fn main() {
 
     let client_counts = env_list("DATAGRID_GRID_CLIENTS", &[16, 64, 256, 1024]);
     let files = env_usize("DATAGRID_GRID_FILES", 48);
+    let verify = args.iter().any(|a| a == "--verify");
+    if verify {
+        println!("verification on: enforcing the max-min certificate on every solve\n");
+    }
 
     let mut runs: Vec<GridScaleRun> = Vec::new();
     for mode in modes() {
         let cfg = GridScaleConfig {
             files,
             mode,
+            verify,
             ..GridScaleConfig::default()
         };
         runs.extend(run_grid_scale(seed, &client_counts, &cfg));
@@ -205,6 +214,12 @@ fn main() {
     }
     for run in &runs {
         dump_cell_obs(run);
+    }
+    if verify {
+        println!(
+            "\nmax-min certificate held on every solve across {} cell(s)",
+            runs.len()
+        );
     }
 
     let json = report.render_json();

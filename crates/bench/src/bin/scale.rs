@@ -19,6 +19,9 @@
 //! and wall time per figure, baseline and incremental side by side.
 //! `scale --check [path]` re-reads the file and validates the key
 //! throughput fields parse — the CI smoke test, not a perf gate.
+//! `--verify` turns on per-solve max-min certificate enforcement plus a
+//! peak-population [`NetSim::verify_allocation`] check per figure (wall
+//! times are then not comparable to unverified runs).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -94,7 +97,12 @@ impl Figure {
 /// `pairs` independent site pairs, each with a dedicated duplex link and
 /// `flows_per_pair` concurrent flows of staggered sizes (distinct
 /// completion times, so every completion perturbs its component).
-fn disjoint_pairs_run(pairs: usize, flows_per_pair: usize, mode: SolverMode) -> ModeResult {
+fn disjoint_pairs_run(
+    pairs: usize,
+    flows_per_pair: usize,
+    mode: SolverMode,
+    verify: bool,
+) -> ModeResult {
     let mut topo = Topology::new();
     let endpoints: Vec<(NodeId, NodeId)> = (0..pairs)
         .map(|i| {
@@ -110,6 +118,7 @@ fn disjoint_pairs_run(pairs: usize, flows_per_pair: usize, mode: SolverMode) -> 
         .collect();
     let mut sim = NetSim::new(topo, SEED);
     sim.set_solver_mode(mode);
+    sim.set_validation(verify);
 
     let start = Instant::now();
     for (i, &(a, b)) in endpoints.iter().enumerate() {
@@ -119,13 +128,22 @@ fn disjoint_pairs_run(pairs: usize, flows_per_pair: usize, mode: SolverMode) -> 
             sim.start_flow(FlowSpec::new(a, b, bytes));
         }
     }
+    if verify {
+        sim.verify_allocation()
+            .expect("peak-population allocation carries the max-min certificate");
+    }
     drain(&mut sim, start)
 }
 
 /// `hosts` spokes around one hub; every flow crosses the shared hub, so
 /// all flows form a single connected component and the incremental solver
 /// degenerates to (almost) the full solve.
-fn coupled_hub_run(hosts: usize, flows_per_host: usize, mode: SolverMode) -> ModeResult {
+fn coupled_hub_run(
+    hosts: usize,
+    flows_per_host: usize,
+    mode: SolverMode,
+    verify: bool,
+) -> ModeResult {
     let mut topo = Topology::new();
     let hub = topo.add_node("hub");
     let spokes: Vec<NodeId> = (0..hosts)
@@ -141,6 +159,7 @@ fn coupled_hub_run(hosts: usize, flows_per_host: usize, mode: SolverMode) -> Mod
         .collect();
     let mut sim = NetSim::new(topo, SEED);
     sim.set_solver_mode(mode);
+    sim.set_validation(verify);
 
     let start = Instant::now();
     for (i, &src) in spokes.iter().enumerate() {
@@ -149,6 +168,10 @@ fn coupled_hub_run(hosts: usize, flows_per_host: usize, mode: SolverMode) -> Mod
             let bytes = (4 + (i + 5 * k) % 12) as u64 * MB;
             sim.start_flow(FlowSpec::new(src, dst, bytes));
         }
+    }
+    if verify {
+        sim.verify_allocation()
+            .expect("peak-population allocation carries the max-min certificate");
     }
     drain(&mut sim, start)
 }
@@ -286,19 +309,26 @@ fn main() {
     let per_pair = env_usize("DATAGRID_SCALE_FLOWS_PER_PAIR", 8);
     let hosts = env_usize("DATAGRID_SCALE_HOSTS", 64);
     let per_host = env_usize("DATAGRID_SCALE_FLOWS_PER_HOST", 4);
+    let verify = args.iter().any(|a| a == "--verify");
+    if verify {
+        println!(
+            "verification on: every solve is certificate-checked \
+             (wall times are not comparable to unverified runs)\n"
+        );
+    }
 
     let figures = [
         Figure {
             name: "disjoint-pairs",
             flows: pairs * per_pair,
-            full: disjoint_pairs_run(pairs, per_pair, SolverMode::Full),
-            incremental: disjoint_pairs_run(pairs, per_pair, SolverMode::Incremental),
+            full: disjoint_pairs_run(pairs, per_pair, SolverMode::Full, verify),
+            incremental: disjoint_pairs_run(pairs, per_pair, SolverMode::Incremental, verify),
         },
         Figure {
             name: "coupled-hub",
             flows: hosts * per_host,
-            full: coupled_hub_run(hosts, per_host, SolverMode::Full),
-            incremental: coupled_hub_run(hosts, per_host, SolverMode::Incremental),
+            full: coupled_hub_run(hosts, per_host, SolverMode::Full, verify),
+            incremental: coupled_hub_run(hosts, per_host, SolverMode::Incremental, verify),
         },
     ];
 

@@ -24,6 +24,7 @@
 //! serial path, any value the worker count — output is byte-identical
 //! either way.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use datagrid_core::grid::DataGrid;

@@ -19,6 +19,7 @@
 //! The crate is deliberately free of simulation dependencies so it can be
 //! reused and tested standalone.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,7 @@
 //! sampling, MDS refresh, NWS bandwidth probes) runs on a fixed interval
 //! whenever the grid advances, including *during* transfers.
 
+pub mod modelcheck;
 pub mod replay;
 
 use std::collections::HashMap;
@@ -561,6 +562,14 @@ impl DataGrid {
         &self.sim
     }
 
+    /// Turns per-solve max-min certification on or off in the underlying
+    /// simulator (see [`NetSim::set_validation`] and
+    /// `datagrid_simnet::verify`) — the plumbing behind the bench bins'
+    /// `--verify` flag.
+    pub fn set_network_validation(&mut self, enabled: bool) {
+        self.sim.set_validation(enabled);
+    }
+
     /// Resolves a host name.
     pub fn host_id(&self, name: &str) -> Option<HostId> {
         self.host_by_name.get(name).copied()
@@ -682,6 +691,7 @@ impl DataGrid {
         m.set_counter("simnet.incremental_solves", s.incremental_solves);
         m.set_counter("simnet.full_solves", s.full_solves);
         m.set_counter("simnet.solver_flows_touched", s.solver_flows_touched);
+        m.set_counter("simnet.auto_shrinks", s.auto_shrinks);
         let c = self.catalog.stats();
         m.set_counter("catalog.lookups", c.lookups());
         m.set_counter("catalog.hits", c.hits());

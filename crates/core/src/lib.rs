@@ -37,6 +37,7 @@
 //! assert_eq!(report.chosen_candidate().host_name, "c");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -54,6 +55,7 @@ pub mod tuning;
 pub use cost::{CostModel, Weights};
 pub use error::GridError;
 pub use factors::{CandidateScore, SystemFactors};
+pub use grid::modelcheck::{explore, Exploration, FetchModel, ModelPhase, ModelState};
 pub use grid::replay::{ReplayJob, ReplayOutcome, ReplayReport, ReplayStatus};
 pub use grid::{DataGrid, FetchOptions, FetchReport, GridBuilder, SelectionMode};
 pub use policy::{ReplicaSelector, SelectionPolicy};

@@ -39,6 +39,7 @@
 //! assert!(outcome.duration().as_secs_f64() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

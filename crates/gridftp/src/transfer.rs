@@ -180,8 +180,11 @@ impl TransferRequest {
         }
         self.effective_mode().validate()?;
         if let Some(r) = self.range {
-            let end = r.offset.checked_add(r.length);
-            if r.length == 0 || end.is_none() || end.unwrap() > self.file_bytes {
+            let in_bounds = r
+                .offset
+                .checked_add(r.length)
+                .is_some_and(|end| end <= self.file_bytes);
+            if r.length == 0 || !in_bounds {
                 return Err(TransferError::RangeOutOfBounds {
                     offset: r.offset,
                     length: r.length,

@@ -1,0 +1,62 @@
+//! CLI for the datagrid source conformance scanner.
+//!
+//! ```text
+//! datagrid-lint [--deny-all] [--root <path>]
+//! ```
+//!
+//! Advisory by default: findings print but the exit code stays 0 so a
+//! developer can run it mid-refactor. `--deny-all` is the CI mode — any
+//! finding (including a stale allowlist entry) exits 1. `--root` points
+//! at the workspace root when invoked from elsewhere; it defaults to the
+//! current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("datagrid-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: datagrid-lint [--deny-all] [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("datagrid-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match datagrid_lint::run(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("datagrid-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "datagrid-lint: {} file(s) scanned, {} finding(s), {} allowlisted",
+        report.files_scanned,
+        report.findings.len(),
+        report.allowed
+    );
+    if deny_all && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,533 @@
+//! # datagrid-lint
+//!
+//! Source conformance scanner for the datagrid workspace. The simulation
+//! makes determinism and no-panic promises that `rustc` cannot check for
+//! us, so this crate encodes them as a handful of mechanical rules and
+//! walks `crates/*/src` enforcing each one:
+//!
+//! | rule | what it denies | where |
+//! |---|---|---|
+//! | `no-unwrap` | `.unwrap()` outside test code | library code |
+//! | `no-expect` | `.expect(` outside test code | library code |
+//! | `no-panic` | `panic!` / `unreachable!` / `todo!` / `unimplemented!` | library code |
+//! | `no-wallclock` | `Instant::now` / `SystemTime::now` | simulation crates |
+//! | `no-hashmap-export` | `HashMap` (iteration order leaks into artifacts) | export/report paths |
+//! | `no-println` | `println!` / `eprintln!` / `print!` / `dbg!` | library crates |
+//! | `forbid-unsafe` | a crate root missing `#![forbid(unsafe_code)]` | every library crate |
+//! | `stale-allow` | an allowlist entry that no longer matches anything | `lint-allow.txt` |
+//!
+//! The scanner is deliberately a line-level state machine, not a parser:
+//! it tracks `#[cfg(test)]` blocks by brace depth, strips string literals
+//! and comments before matching, and treats everything under `src/bin/`
+//! as an executable entry point (exempt from the library-only rules).
+//! Audited exceptions live in `lint-allow.txt` at the workspace root, one
+//! `<rule-id> <path> -- <reason>` per line; entries that stop matching
+//! are themselves reported so the allowlist can only shrink.
+//!
+//! By default findings are advisory (exit 0). `--deny-all` turns any
+//! finding into a non-zero exit for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose clocks must come from the simulation, never the host.
+/// `testbed` and `bench` drive real experiment harnesses and may time
+/// themselves with `Instant::now`; everything else may not.
+const SIMULATION_CRATES: [&str; 6] = ["simnet", "sysmon", "gridftp", "catalog", "core", "obs"];
+
+/// Crates whose artifacts (JSONL event dumps, audit exports, metric
+/// snapshots) must not depend on `HashMap` iteration order.
+const EXPORT_CRATES: [&str; 1] = ["obs"];
+
+/// Crates whose purpose is console reporting; exempt from `no-println`.
+const CONSOLE_CRATES: [&str; 2] = ["bench", "lint"];
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `no-unwrap`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// What was matched, trimmed for display.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// A parsed `lint-allow.txt` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the exception applies to.
+    pub rule: String,
+    /// Workspace-relative path the exception covers.
+    pub path: String,
+    /// Mandatory human justification (text after `--`).
+    pub reason: String,
+    /// Line in `lint-allow.txt`, for stale-entry reporting.
+    pub line: usize,
+}
+
+/// Scanner outcome: surviving findings plus walk statistics.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the allowlist (includes stale entries).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by allowlist entries.
+    pub allowed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree conforms (nothing to report).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Errors from walking the workspace or parsing the allowlist.
+#[derive(Debug)]
+pub enum LintError {
+    /// The workspace root did not look like this repository.
+    BadRoot(PathBuf),
+    /// An allowlist line did not parse as `<rule> <path> -- <reason>`.
+    BadAllowEntry {
+        /// 1-based line in the allowlist file.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Filesystem failure, with the path that caused it.
+    Io(PathBuf, std::io::Error),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::BadRoot(p) => {
+                write!(f, "{} does not contain a crates/ directory", p.display())
+            }
+            LintError::BadAllowEntry { line, text } => write!(
+                f,
+                "lint-allow.txt:{line}: expected `<rule> <path> -- <reason>`, got `{text}`"
+            ),
+            LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Strips string literals, char literals and `//` comments from one line
+/// so rule patterns never match inside text. Raw strings longer than one
+/// line are rare in this workspace and covered by the allowlist escape
+/// hatch rather than extra scanner state.
+pub fn sanitize_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '\'' => {
+                // Char literal: consume up to the closing quote. Lifetimes
+                // (`'a`) have no closing quote within a few chars; bail out
+                // and keep the tick so generics still read through.
+                let lookahead: String = chars.clone().take(3).collect();
+                if let Some(end) = lookahead.find('\'') {
+                    for _ in 0..=end {
+                        chars.next();
+                    }
+                } else if lookahead.starts_with('\\') {
+                    chars.next();
+                    chars.next();
+                    chars.next();
+                } else {
+                    out.push(c);
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// True when the whole file is test code by location or naming, so every
+/// line is exempt from the library rules.
+fn is_test_file(rel_path: &str) -> bool {
+    rel_path.contains("/tests/") || rel_path.ends_with("/tests.rs")
+}
+
+/// True for executable entry points (`src/bin/*`, `main.rs`): panicking
+/// on a broken invocation is idiomatic there, and stdout is their output
+/// channel.
+fn is_bin_file(rel_path: &str) -> bool {
+    rel_path.contains("/src/bin/") || rel_path.ends_with("/main.rs")
+}
+
+/// Scans one file's source. `crate_name` is the directory under
+/// `crates/`; `rel_path` is workspace-relative with forward slashes.
+pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if is_test_file(rel_path) {
+        return findings;
+    }
+    let bin = is_bin_file(rel_path);
+    let simulation = SIMULATION_CRATES.contains(&crate_name);
+    let export = EXPORT_CRATES.contains(&crate_name);
+    let console = CONSOLE_CRATES.contains(&crate_name);
+
+    // `#[cfg(test)]` block tracking: once the attribute is seen, the next
+    // item's braces are counted until the block closes.
+    let mut pending_test_attr = false;
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = sanitize_line(raw);
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+
+        if in_test {
+            test_depth += opens - closes;
+            if test_depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            if opens > closes {
+                // `#[cfg(test)] mod tests {` on one line.
+                in_test = true;
+                test_depth = opens - closes;
+            } else {
+                pending_test_attr = true;
+            }
+            continue;
+        }
+        if pending_test_attr {
+            if code.trim().is_empty() || code.trim_start().starts_with("#[") {
+                continue; // more attributes between cfg(test) and the item
+            }
+            pending_test_attr = false;
+            if opens > closes {
+                in_test = true;
+                test_depth = opens - closes;
+                continue;
+            }
+            // `#[cfg(test)] mod tests;` — the out-of-line file is exempt
+            // via its own path, nothing to track here.
+            continue;
+        }
+
+        let mut push = |rule: &'static str| {
+            findings.push(Finding {
+                rule,
+                path: rel_path.to_string(),
+                line: line_no,
+                excerpt: raw.trim().chars().take(96).collect(),
+            });
+        };
+
+        if !bin {
+            if code.contains(".unwrap()") {
+                push("no-unwrap");
+            }
+            if code.contains(".expect(") {
+                push("no-expect");
+            }
+            if code.contains("panic!(")
+                || code.contains("unreachable!(")
+                || code.contains("todo!(")
+                || code.contains("unimplemented!(")
+            {
+                push("no-panic");
+            }
+        }
+        if simulation && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            push("no-wallclock");
+        }
+        if export && code.contains("HashMap") {
+            push("no-hashmap-export");
+        }
+        if !bin
+            && !console
+            && (code.contains("println!(")
+                || code.contains("eprintln!(")
+                || code.contains("print!(")
+                || code.contains("dbg!("))
+        {
+            push("no-println");
+        }
+    }
+    findings
+}
+
+/// Checks a crate root for the `#![forbid(unsafe_code)]` attribute.
+pub fn check_forbid_unsafe(rel_path: &str, source: &str) -> Option<Finding> {
+    if source.contains("#![forbid(unsafe_code)]") {
+        None
+    } else {
+        Some(Finding {
+            rule: "forbid-unsafe",
+            path: rel_path.to_string(),
+            line: 0,
+            excerpt: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        })
+    }
+}
+
+/// Parses `lint-allow.txt`. Blank lines and `#` comments are skipped;
+/// everything else must be `<rule> <path> -- <reason>`.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || LintError::BadAllowEntry {
+            line: idx + 1,
+            text: line.to_string(),
+        };
+        let (head, reason) = line.split_once(" -- ").ok_or_else(bad)?;
+        let (rule, path) = head.trim().split_once(' ').ok_or_else(bad)?;
+        if rule.is_empty() || path.trim().is_empty() || reason.trim().is_empty() {
+            return Err(bad());
+        }
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path: path.trim().to_string(),
+            reason: reason.trim().to_string(),
+            line: idx + 1,
+        });
+    }
+    Ok(entries)
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|e| LintError::Io(path.to_path_buf(), e))
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks `crates/*/src` under `root`, applies every rule, subtracts the
+/// allowlist and reports stale entries.
+pub fn run(root: &Path) -> Result<Report, LintError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(LintError::BadRoot(root.to_path_buf()));
+    }
+
+    let mut report = Report::default();
+    let mut findings = Vec::new();
+
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| LintError::Io(crates_dir.clone(), e))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        let mut files = Vec::new();
+        rust_files_under(&src, &mut files)?;
+        files.sort();
+        for file in &files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = read(file)?;
+            report.files_scanned += 1;
+            findings.extend(scan_source(&crate_name, &rel, &source));
+            if rel.ends_with("/lib.rs") {
+                findings.extend(check_forbid_unsafe(&rel, &source));
+            }
+        }
+    }
+
+    let allow_path = root.join("lint-allow.txt");
+    let allow = if allow_path.is_file() {
+        parse_allowlist(&read(&allow_path)?)?
+    } else {
+        Vec::new()
+    };
+
+    let mut used = vec![false; allow.len()];
+    for finding in findings {
+        let covered = allow
+            .iter()
+            .position(|a| a.rule == finding.rule && a.path == finding.path);
+        match covered {
+            Some(i) => {
+                used[i] = true;
+                report.allowed += 1;
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (entry, used) in allow.iter().zip(&used) {
+        if !used {
+            report.findings.push(Finding {
+                rule: "stale-allow",
+                path: "lint-allow.txt".to_string(),
+                line: entry.line,
+                excerpt: format!(
+                    "entry `{} {}` no longer matches any finding — delete it",
+                    entry.rule, entry.path
+                ),
+            });
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_strips_strings_and_comments() {
+        assert_eq!(
+            sanitize_line(r#"let x = "panic!()"; // .unwrap()"#),
+            "let x = ; "
+        );
+        assert_eq!(
+            sanitize_line(r#"let c = '"'; x.unwrap()"#),
+            "let c = ; x.unwrap()"
+        );
+        assert_eq!(
+            sanitize_line("fn f<'a>(x: &'a str)"),
+            "fn f<'a>(x: &'a str)"
+        );
+    }
+
+    #[test]
+    fn unwrap_outside_tests_is_flagged_inside_tests_is_not() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() { y.unwrap(); z.expect(\"boom\"); }\n\
+                   }\n\
+                   fn h() { w.expect(\"msg\"); }\n";
+        let found = scan_source("core", "crates/core/src/x.rs", src);
+        let rules: Vec<_> = found.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(rules, vec![("no-unwrap", 1), ("no-expect", 6)]);
+    }
+
+    #[test]
+    fn cfg_test_on_one_line_and_with_extra_attributes() {
+        let src = "#[cfg(test)] mod tests { fn f() { x.unwrap(); } }\n\
+                   #[cfg(test)]\n\
+                   #[allow(dead_code)]\n\
+                   mod more {\n\
+                       fn g() { panic!(\"ok in tests\"); }\n\
+                   }\n\
+                   fn live() { panic!(\"caught\"); }\n";
+        let found = scan_source("core", "crates/core/src/y.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "no-panic");
+        assert_eq!(found[0].line, 7);
+    }
+
+    #[test]
+    fn wallclock_scoping_follows_the_crate() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(
+            scan_source("simnet", "crates/simnet/src/a.rs", src).len(),
+            1
+        );
+        assert!(scan_source("testbed", "crates/testbed/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bins_and_console_crates_are_exempt_where_documented() {
+        let src = "fn main() { println!(\"report\"); cfg.unwrap(); }\n";
+        assert!(scan_source("testbed", "crates/testbed/src/bin/run.rs", src).is_empty());
+        let lib = scan_source("testbed", "crates/testbed/src/lib.rs", src);
+        assert!(lib.iter().any(|f| f.rule == "no-println"));
+        assert!(scan_source("bench", "crates/bench/src/lib.rs", "println!(\"x\");\n").is_empty());
+    }
+
+    #[test]
+    fn hashmap_is_denied_only_on_export_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan_source("obs", "crates/obs/src/event.rs", src).len(), 1);
+        assert!(scan_source("simnet", "crates/simnet/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_check() {
+        assert!(check_forbid_unsafe("crates/a/src/lib.rs", "#![forbid(unsafe_code)]\n").is_none());
+        let f = check_forbid_unsafe("crates/a/src/lib.rs", "pub mod x;\n").unwrap();
+        assert_eq!(f.rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_reasonless_entries() {
+        let ok = parse_allowlist(
+            "# audited exceptions\n\
+             no-panic crates/simnet/src/engine.rs -- documented # Panics contract\n",
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rule, "no-panic");
+        assert!(parse_allowlist("no-panic crates/x.rs\n").is_err());
+        assert!(parse_allowlist("no-panic -- why\n").is_err());
+    }
+}

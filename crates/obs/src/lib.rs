@@ -27,6 +27,7 @@
 //! decimal formatting, so two identically-seeded runs export byte-identical
 //! dumps — that property is load-bearing and covered by tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -36,6 +36,11 @@ use crate::flow::MaxMinSolver;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Bandwidth, LinkId, NodeId, RoutingTable, Topology};
+use crate::verify::{Certificate, Violation, ABS_TOL_BPS, REL_TOL};
+
+/// A slab burst below this peak never triggers the automatic low-water
+/// scratch compaction — small simulations keep their buffers.
+const AUTO_SHRINK_MIN_HIGH_WATER: usize = 128;
 
 /// Identifier of a flow started on a [`NetSim`]. Unique for the lifetime of
 /// the simulation (never reused).
@@ -368,6 +373,9 @@ pub struct EngineStats {
     pub fault_transitions: u64,
     /// Flows (any class) reset by [`crate::fault::FaultKind::ConnectionDrop`].
     pub flows_dropped: u64,
+    /// Automatic low-water scratch compactions (see
+    /// [`NetSim::set_auto_shrink`]).
+    pub auto_shrinks: u64,
     /// Component-scoped (incremental) rate solves.
     pub incremental_solves: u64,
     /// Whole-grid (from-scratch) rate solves.
@@ -411,6 +419,16 @@ pub struct NetSim {
     comp: CompScratch,
     solver: MaxMinSolver,
     probe: RefCell<ProbeScratch>,
+    /// Re-certify every solved component right after the solve (see
+    /// [`crate::verify`]); defaults on in debug builds and under the
+    /// `validate` feature.
+    validate: bool,
+    /// Automatic low-water scratch compaction (see
+    /// [`NetSim::set_auto_shrink`]).
+    auto_shrink: bool,
+    /// Peak concurrent flow count since the last compaction — the
+    /// high-water mark the low-water trigger compares against.
+    slot_high_water: usize,
     /// Pre-fault capacities, diffed after a transition to seed the
     /// incremental re-solve with exactly the links that changed.
     cap_snapshot: Vec<f64>,
@@ -453,6 +471,9 @@ impl NetSim {
             comp: CompScratch::default(),
             solver: MaxMinSolver::new(),
             probe: RefCell::new(ProbeScratch::default()),
+            validate: cfg!(any(debug_assertions, feature = "validate")),
+            auto_shrink: true,
+            slot_high_water: 0,
             cap_snapshot: Vec::new(),
             all_links: (0..link_count as u32).collect(),
         }
@@ -485,6 +506,202 @@ impl NetSim {
         self.mode = mode;
     }
 
+    /// Whether every solve is re-certified in place (see [`crate::verify`]).
+    pub fn validation_enabled(&self) -> bool {
+        self.validate
+    }
+
+    /// Turns per-solve allocation certification on or off at runtime.
+    ///
+    /// Defaults on in debug builds and under the `validate` cargo feature;
+    /// release binaries opt in per run (the bench bins' `--verify` flag).
+    /// When enabled, a falsified certificate aborts the simulation
+    /// immediately — a wrong allocation must never settle a byte.
+    pub fn set_validation(&mut self, enabled: bool) {
+        self.validate = enabled;
+    }
+
+    /// Whether the automatic low-water scratch compaction is armed
+    /// (default: `true`).
+    pub fn auto_shrink_enabled(&self) -> bool {
+        self.auto_shrink
+    }
+
+    /// Arms or disarms the automatic low-water [`NetSim::shrink_scratch`]
+    /// trigger: once the peak concurrent flow count has reached at least
+    /// 128, draining below 25% of that high-water mark compacts the slab,
+    /// stamp arrays and solver buffers in place (and resets the high-water
+    /// mark to the surviving population). Long-lived embedders no longer
+    /// need to find a quiet point to call [`NetSim::shrink_scratch`] by
+    /// hand.
+    pub fn set_auto_shrink(&mut self, enabled: bool) {
+        self.auto_shrink = enabled;
+    }
+
+    /// Certifies the engine's current rate assignment for the whole grid
+    /// without trusting any solver internals: conservation on every link,
+    /// per-flow caps, byte accounting, and the max-min bottleneck
+    /// certificate (see [`crate::verify`] for the exact checks and why
+    /// they are complete).
+    ///
+    /// Read-only; cost is O(flows × route length + links).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] that falsifies the certificate.
+    pub fn verify_allocation(&self) -> Result<Certificate, Violation> {
+        let live: Vec<u32> = (0..self.flows.len() as u32)
+            .filter(|&s| self.flows[s as usize].is_some())
+            .collect();
+        self.verify_scope(&live, &self.all_links)
+    }
+
+    /// Corrupts a live flow's allocated rate in place, bypassing the
+    /// solver and the settle path — a test hook proving that
+    /// [`NetSim::verify_allocation`] rejects perturbed allocations.
+    /// Returns `false` if the flow is not active. The engine is left in
+    /// an inconsistent state on purpose; do not keep simulating after it.
+    #[doc(hidden)]
+    pub fn perturb_rate_for_validation(&mut self, id: FlowId, delta_bps: f64) -> bool {
+        let Some(&slot) = self.id_slots.get(&id) else {
+            return false;
+        };
+        self.flows[slot as usize]
+            .as_mut()
+            .expect("indexed flow is live")
+            .rate_bps += delta_bps;
+        true
+    }
+
+    /// Checks the certificate over a scope of flow slots and the links
+    /// they can touch. The scope must be closed: every live flow crossing
+    /// a scoped link is itself scoped (the component walker and
+    /// `all_links` both guarantee this), otherwise peak shares would be
+    /// computed against stale rates.
+    fn verify_scope(&self, slots: &[u32], links: &[u32]) -> Result<Certificate, Violation> {
+        let mut cert = Certificate {
+            flows: slots.len(),
+            ..Certificate::default()
+        };
+        // Per-flow sanity: solved, feasible, within cap, bytes in range.
+        for &slot in slots {
+            let f = self.flows[slot as usize]
+                .as_ref()
+                .expect("verification scope holds a dead slot");
+            let rate = f.rate_bps;
+            if rate.is_nan() {
+                return Err(Violation::UnsolvedRate { flow: f.id });
+            }
+            if rate < -ABS_TOL_BPS {
+                return Err(Violation::NegativeRate {
+                    flow: f.id,
+                    rate_bps: rate,
+                });
+            }
+            if rate > f.cap_bps * (1.0 + REL_TOL) + ABS_TOL_BPS {
+                return Err(Violation::CapExceeded {
+                    flow: f.id,
+                    rate_bps: rate,
+                    cap_bps: f.cap_bps,
+                });
+            }
+            if !f.remaining.is_finite()
+                || f.remaining < -ABS_TOL_BPS
+                || f.remaining > f.total_bytes as f64 + 0.5
+            {
+                return Err(Violation::ByteAccounting {
+                    flow: f.id,
+                    remaining: f.remaining,
+                    total_bytes: f.total_bytes,
+                });
+            }
+            cert.bytes_outstanding += f.remaining.max(0.0);
+        }
+        // Per-link loads from the persistent crossing indexes. `sat` and
+        // `peak` are indexed by raw link id so the bottleneck pass below
+        // can look route links up directly.
+        let mut sat = vec![false; self.link_caps.len()];
+        let mut peak = vec![0.0f64; self.link_caps.len()];
+        for &l in links {
+            let crossing = &self.link_flows[l as usize];
+            let mut used = 0.0f64;
+            let mut top = 0.0f64;
+            for &slot in crossing {
+                let f = self.flows[slot as usize]
+                    .as_ref()
+                    .expect("per-link index holds a dead slot");
+                if f.rate_bps.is_nan() {
+                    // A stale crossing flow the solve missed: the
+                    // component closure is broken.
+                    return Err(Violation::UnsolvedRate { flow: f.id });
+                }
+                used += f.rate_bps;
+                top = top.max(f.rate_bps);
+            }
+            let cap = self.link_caps[l as usize];
+            if used > cap * (1.0 + REL_TOL) + ABS_TOL_BPS {
+                return Err(Violation::LinkOversubscribed {
+                    link: LinkId(l),
+                    allocated_bps: used,
+                    capacity_bps: cap,
+                });
+            }
+            if !crossing.is_empty() {
+                cert.links_in_use += 1;
+                if cap > ABS_TOL_BPS {
+                    cert.max_utilization = cert.max_utilization.max(used / cap);
+                }
+            }
+            // A faulted (zero-capacity) link is saturated at zero: flows
+            // stalled on it are correctly rate-0, not starved.
+            if cap <= ABS_TOL_BPS || used >= cap * (1.0 - REL_TOL) - ABS_TOL_BPS {
+                sat[l as usize] = true;
+                if !crossing.is_empty() {
+                    cert.saturated_links += 1;
+                }
+            }
+            peak[l as usize] = top;
+        }
+        // Bottleneck certificate: every flow below its cap must cross a
+        // saturated link on which no other flow gets a strictly larger
+        // share — otherwise its rate could be raised without hurting a
+        // smaller-or-equal flow, and the allocation is not max-min fair.
+        for &slot in slots {
+            let f = self.flows[slot as usize]
+                .as_ref()
+                .expect("verification scope holds a dead slot");
+            if f.rate_bps >= f.cap_bps * (1.0 - REL_TOL) - ABS_TOL_BPS {
+                cert.capped_flows += 1;
+                continue;
+            }
+            let witnessed = f.route.iter().any(|&l| {
+                sat[l.index()] && f.rate_bps >= peak[l.index()] * (1.0 - REL_TOL) - ABS_TOL_BPS
+            });
+            if witnessed {
+                cert.bottlenecked_flows += 1;
+            } else {
+                return Err(Violation::NotBottlenecked {
+                    flow: f.id,
+                    rate_bps: f.rate_bps,
+                });
+            }
+        }
+        Ok(cert)
+    }
+
+    /// Debug/validate-mode hook: re-certify a freshly solved scope and
+    /// abort loudly on any falsification — a wrong allocation must never
+    /// settle a byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the certificate does not hold.
+    fn enforce_certificate(&self, slots: &[u32], links: &[u32]) {
+        if let Err(v) = self.verify_scope(slots, links) {
+            panic!("max-min certificate violated after solve: {v}");
+        }
+    }
+
     /// Round-trip time between two nodes.
     ///
     /// # Panics
@@ -499,6 +716,21 @@ impl NetSim {
     /// Number of currently active flows (including background).
     pub fn active_flow_count(&self) -> usize {
         self.active_flows
+    }
+
+    /// Number of currently active **foreground** flows — everything except
+    /// [`FlowTag::Background`] traffic, which runs for the whole
+    /// simulation. Zero once every user transfer has drained.
+    pub fn public_flow_count(&self) -> usize {
+        self.public_flows
+    }
+
+    /// Number of currently active flows carrying `tag`. Unlike the cached
+    /// [`NetSim::public_flow_count`], this scans the flow slab, so it can
+    /// separate lingering [`FlowTag::Probe`] measurements from genuine
+    /// [`FlowTag::User`] transfers.
+    pub fn flow_count_by_tag(&self, tag: FlowTag) -> usize {
+        self.flows.iter().flatten().filter(|f| f.tag == tag).count()
     }
 
     /// Lifetime engine counters (events, timers, flows, bytes, solves).
@@ -739,6 +971,9 @@ impl NetSim {
         }
         self.id_slots.insert(id, slot);
         self.active_flows += 1;
+        if self.active_flows > self.slot_high_water {
+            self.slot_high_water = self.active_flows;
+        }
         self.reallocate_for_flow(slot as usize);
         id
     }
@@ -1093,6 +1328,16 @@ impl NetSim {
         if !matches!(f.tag, FlowTag::Background) {
             self.public_flows -= 1;
         }
+        // Low-water trigger: a burst that grew the scratch has drained far
+        // enough that keeping its high-water capacity is pure waste.
+        if self.auto_shrink
+            && self.slot_high_water >= AUTO_SHRINK_MIN_HIGH_WATER
+            && self.active_flows * 4 < self.slot_high_water
+        {
+            self.shrink_scratch();
+            self.stats.auto_shrinks += 1;
+            self.slot_high_water = self.active_flows;
+        }
         f
     }
 
@@ -1174,6 +1419,9 @@ impl NetSim {
             f.epoch = epoch;
             self.schedule_completion(slot);
         }
+        if self.validate {
+            self.enforce_certificate(&self.comp.flows, &self.comp.links);
+        }
     }
 
     /// Full-mode baseline: settle every flow, solve the whole grid from
@@ -1221,6 +1469,9 @@ impl NetSim {
             f.rate_bps = rate;
             f.epoch = epoch;
             self.schedule_completion(slot);
+        }
+        if self.validate {
+            self.enforce_certificate(&self.comp.flows, &self.all_links);
         }
     }
 
@@ -1573,6 +1824,9 @@ mod tests {
     fn shrink_scratch_releases_high_water_capacity() {
         let (t, a, _, c) = line();
         let mut sim = NetSim::new(t, 7);
+        // This test measures the *manual* compaction hook, so the
+        // automatic low-water trigger must not fire mid-drain.
+        sim.set_auto_shrink(false);
         // High-water burst: hundreds of concurrent flows grow the slab,
         // stamp arrays, per-link indexes and solver buffers.
         for i in 0..512 {
@@ -1628,6 +1882,97 @@ mod tests {
             }
         }
         assert!(done);
+    }
+
+    #[test]
+    fn auto_shrink_fires_at_low_water() {
+        // Identical 512-flow bursts; only the trigger arming differs.
+        let run = |auto: bool| {
+            let (t, a, _, c) = line();
+            let mut sim = NetSim::new(t, 13);
+            sim.set_auto_shrink(auto);
+            // Decreasing sizes: the newest slots drain first, so the slab's
+            // trailing-slot truncation has something to reclaim (interior
+            // holes must keep their indices and can never be compacted).
+            for i in 0..512u64 {
+                sim.start_flow(FlowSpec::new(a, c, 100_000 + (511 - i) * 1_000));
+            }
+            while sim.next_event().is_some() {}
+            assert_eq!(sim.active_flow_count(), 0);
+            (sim, a, c)
+        };
+        let (control, _, _) = run(false);
+        assert_eq!(control.stats().auto_shrinks, 0);
+        let (mut sim, a, c) = run(true);
+        assert!(
+            sim.stats().auto_shrinks >= 1,
+            "draining a 512-flow burst should trigger the low-water compaction"
+        );
+        // The last compaction fires at <25% occupancy, so at most a quarter
+        // of the high-water capacity can survive the drain.
+        let (auto, manual) = (sim.scratch_footprint(), control.scratch_footprint());
+        assert!(
+            auto < manual / 2,
+            "auto-shrink kept {auto} of the {manual}-element high-water scratch"
+        );
+        // The engine keeps working after an automatic compaction.
+        let id = sim.start_flow(FlowSpec::new(a, c, 1_000_000));
+        match sim.next_event().expect("flow completes").kind {
+            EventKind::FlowCompleted(d) => assert_eq!(d.id, id),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_shrink_spares_small_populations() {
+        let (t, a, _, c) = line();
+        let mut sim = NetSim::new(t, 17);
+        // A burst below the arming threshold must never compact: small
+        // simulations keep their warm buffers.
+        for _ in 0..64 {
+            sim.start_flow(FlowSpec::new(a, c, 50_000));
+        }
+        while sim.next_event().is_some() {}
+        assert_eq!(sim.stats().auto_shrinks, 0);
+        // And disarming the trigger suppresses it outright.
+        sim.set_auto_shrink(false);
+        for _ in 0..256 {
+            sim.start_flow(FlowSpec::new(a, c, 50_000));
+        }
+        while sim.next_event().is_some() {}
+        assert_eq!(sim.stats().auto_shrinks, 0);
+    }
+
+    #[test]
+    fn verify_allocation_accepts_settled_states_and_rejects_perturbations() {
+        let (t, a, b, c) = line();
+        let mut sim = NetSim::new(t, 23);
+        let idle = sim.verify_allocation().expect("empty grid certifies");
+        assert_eq!(idle.flows, 0);
+        let f1 = sim.start_flow(FlowSpec::new(a, c, 50_000_000));
+        let f2 = sim.start_flow(FlowSpec::new(a, b, 50_000_000));
+        let cert = sim.verify_allocation().expect("settled state certifies");
+        assert_eq!(cert.flows, 2);
+        assert!(cert.saturated_links >= 1, "shared uplink must saturate");
+        assert!(cert.max_utilization > 0.99 && cert.max_utilization <= 1.0 + 1e-6);
+        assert_eq!(cert.capped_flows + cert.bottlenecked_flows, 2);
+        // Nudging one rate either way falsifies the certificate: up breaks
+        // conservation, down breaks max-minness.
+        let rate = sim.flow_rate(f1).expect("f1 live").as_bps();
+        assert!(sim.perturb_rate_for_validation(f1, rate * 1e-3));
+        assert!(matches!(
+            sim.verify_allocation(),
+            Err(Violation::LinkOversubscribed { .. }) | Err(Violation::CapExceeded { .. })
+        ));
+        assert!(sim.perturb_rate_for_validation(f1, -2.0 * rate * 1e-3));
+        assert!(matches!(
+            sim.verify_allocation(),
+            Err(Violation::NotBottlenecked { .. })
+        ));
+        // Restore and the proof holds again.
+        assert!(sim.perturb_rate_for_validation(f1, rate * 1e-3));
+        sim.verify_allocation().expect("restored state certifies");
+        let _ = f2;
     }
 }
 

@@ -40,6 +40,7 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -54,6 +55,7 @@ pub mod tcp;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod verify;
 
 pub use engine::{
     EventKind, FaultNotice, FlowCompletion, FlowId, FlowSpec, FlowTag, NetSim, SimEvent, SolverMode,
@@ -61,6 +63,7 @@ pub use engine::{
 pub use fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
+pub use verify::{Certificate, Violation};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
@@ -76,4 +79,5 @@ pub mod prelude {
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
     pub use crate::trace::{LinkTrace, NetworkTrace};
+    pub use crate::verify::{Certificate, Violation};
 }

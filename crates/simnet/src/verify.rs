@@ -1,0 +1,183 @@
+//! Allocation certificates: independent verification of the max-min solver.
+//!
+//! Every number the reproduction publishes flows through the incremental
+//! settle path ([`crate::engine::SolverMode::Incremental`]) — a fast path
+//! that re-solves only the perturbed connected component of the flow/link
+//! graph. This module certifies, from first principles and without trusting
+//! any solver internals, that the engine's current rate assignment really is
+//! the max-min fair allocation the fluid model promises:
+//!
+//! 1. **Conservation / non-negative residuals** — on every link the summed
+//!    allocated rate does not exceed the (fault-adjusted) capacity, and no
+//!    flow carries a negative or unsolved (`NaN`) rate or an impossible
+//!    byte counter.
+//! 2. **Per-flow cap** — no flow exceeds its own rate ceiling.
+//! 3. **Bottleneck certificate** — every flow not running at its cap
+//!    crosses at least one *saturated* link on which its share is maximal
+//!    among all flows crossing that link. This is the classic
+//!    bottleneck/KKT characterisation of max-min fairness (Bertsekas &
+//!    Gallager): an allocation satisfies it **iff** it is the (unique)
+//!    max-min fair allocation, so the check is a complete certificate, not
+//!    a heuristic.
+//!
+//! [`NetSim::verify_allocation`](crate::engine::NetSim::verify_allocation)
+//! checks the whole grid on demand; the engine additionally re-certifies
+//! every solved component right after each settle when validation is on
+//! (always in debug builds and under the `validate` cargo feature, or at
+//! runtime via
+//! [`NetSim::set_validation`](crate::engine::NetSim::set_validation) — the
+//! bench bins' `--verify` flag).
+
+use std::fmt;
+
+use crate::engine::FlowId;
+use crate::topology::LinkId;
+
+/// Relative tolerance for capacity, cap and saturation comparisons.
+///
+/// Progressive filling does exact-arithmetic bookkeeping only up to f64
+/// rounding; the solver's own invariant tests use the same bound.
+pub const REL_TOL: f64 = 1e-6;
+
+/// Absolute slack in bits/second, covering `-0.0` residues and subtraction
+/// noise on otherwise idle links.
+pub const ABS_TOL_BPS: f64 = 1e-6;
+
+/// Proof summary returned by a successful verification: what was checked
+/// and the witness counts behind the max-min certificate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Certificate {
+    /// Flows whose allocation was certified (all traffic classes).
+    pub flows: usize,
+    /// Links crossed by at least one certified flow.
+    pub links_in_use: usize,
+    /// Links allocated to (relative) capacity — the bottlenecks.
+    pub saturated_links: usize,
+    /// Flows frozen at their own rate ceiling.
+    pub capped_flows: usize,
+    /// Flows certified by a saturated link on which their share is maximal.
+    pub bottlenecked_flows: usize,
+    /// Highest link utilisation observed (1.0 = exactly saturated).
+    pub max_utilization: f64,
+    /// Total bytes still outstanding across certified flows.
+    pub bytes_outstanding: f64,
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "certificate: {} flows ({} capped, {} bottlenecked) over {} links \
+             ({} saturated, peak util {:.6})",
+            self.flows,
+            self.capped_flows,
+            self.bottlenecked_flows,
+            self.links_in_use,
+            self.saturated_links,
+            self.max_utilization
+        )
+    }
+}
+
+/// A falsified certificate: the first check the current allocation failed.
+///
+/// Any variant means the settled state is **not** the max-min fair
+/// allocation of the current topology/caps — either the solver or the
+/// incremental component tracking is wrong, and every published number
+/// downstream of this state is suspect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A live flow still carries the `NaN` never-solved sentinel.
+    UnsolvedRate {
+        /// The unsolved flow.
+        flow: FlowId,
+    },
+    /// A flow was assigned a negative rate.
+    NegativeRate {
+        /// The offending flow.
+        flow: FlowId,
+        /// Its (negative) allocated rate.
+        rate_bps: f64,
+    },
+    /// A flow exceeds its own rate ceiling.
+    CapExceeded {
+        /// The offending flow.
+        flow: FlowId,
+        /// Its allocated rate.
+        rate_bps: f64,
+        /// The ceiling it was meant to respect.
+        cap_bps: f64,
+    },
+    /// A link's summed allocation exceeds its effective capacity — the
+    /// allocation is infeasible (conservation broken).
+    LinkOversubscribed {
+        /// The oversubscribed link.
+        link: LinkId,
+        /// Total rate allocated across it.
+        allocated_bps: f64,
+        /// Its current (fault-adjusted) capacity.
+        capacity_bps: f64,
+    },
+    /// A flow below its cap crosses no saturated link on which its share
+    /// is maximal: the allocation is not max-min fair (the flow's rate
+    /// could be raised without lowering a smaller-or-equal share).
+    NotBottlenecked {
+        /// The flow without a bottleneck witness.
+        flow: FlowId,
+        /// Its allocated rate.
+        rate_bps: f64,
+    },
+    /// A flow's lazily settled byte counter left `[0, total]`.
+    ByteAccounting {
+        /// The offending flow.
+        flow: FlowId,
+        /// Bytes outstanding according to the engine.
+        remaining: f64,
+        /// The flow's payload size.
+        total_bytes: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnsolvedRate { flow } => {
+                write!(f, "flow {flow} is live but was never solved (NaN rate)")
+            }
+            Violation::NegativeRate { flow, rate_bps } => {
+                write!(f, "flow {flow} has negative rate {rate_bps} bps")
+            }
+            Violation::CapExceeded {
+                flow,
+                rate_bps,
+                cap_bps,
+            } => write!(
+                f,
+                "flow {flow} runs at {rate_bps} bps above its cap {cap_bps} bps"
+            ),
+            Violation::LinkOversubscribed {
+                link,
+                allocated_bps,
+                capacity_bps,
+            } => write!(
+                f,
+                "link {link} carries {allocated_bps} bps over its capacity {capacity_bps} bps"
+            ),
+            Violation::NotBottlenecked { flow, rate_bps } => write!(
+                f,
+                "flow {flow} at {rate_bps} bps is below its cap yet crosses no saturated \
+                 link on which its share is maximal (not max-min fair)"
+            ),
+            Violation::ByteAccounting {
+                flow,
+                remaining,
+                total_bytes,
+            } => write!(
+                f,
+                "flow {flow} has {remaining} bytes outstanding of a {total_bytes}-byte payload"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}

@@ -16,6 +16,7 @@
 //!
 //! Everything is deterministic given seeds, like the rest of the stack.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

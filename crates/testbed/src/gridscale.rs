@@ -46,6 +46,11 @@ pub struct GridScaleConfig {
     pub mode: SelectionMode,
     /// Parallel TCP streams per transfer (0 = stream mode).
     pub parallelism: u32,
+    /// Verify the max-min certificate: enable the engine's per-solve
+    /// enforcement for the whole cell and re-check the settled allocation
+    /// after the replay. Costs solver time; never changes the numbers, so
+    /// `BENCH_grid.json` stays byte-identical either way.
+    pub verify: bool,
 }
 
 impl Default for GridScaleConfig {
@@ -59,6 +64,7 @@ impl Default for GridScaleConfig {
             warm: SimDuration::from_secs(60),
             mode: SelectionMode::ContentionAware,
             parallelism: 0,
+            verify: false,
         }
     }
 }
@@ -208,6 +214,9 @@ pub fn build_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> (DataGrid
     let mut builder = paper_testbed(cseed);
     builder.selection_mode(cfg.mode);
     let mut grid = builder.build();
+    if cfg.verify {
+        grid.set_network_validation(true);
+    }
     let hosts = all_paper_hosts();
     let spec = GridWorkloadSpec {
         clients,
@@ -235,6 +244,11 @@ pub fn run_grid_scale_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> 
     let report = grid
         .replay_concurrent(&jobs, options, &recovery)
         .expect("generated workloads only fail per-job");
+    if cfg.verify {
+        grid.network()
+            .verify_allocation()
+            .expect("post-replay allocation carries the max-min certificate");
+    }
     let latencies: Vec<f64> = report
         .outcomes
         .iter()
@@ -330,6 +344,21 @@ mod tests {
         assert_eq!(a.render_json(), b.render_json());
         let c = GridScaleReport::from_runs(12, &run_grid_scale(12, &[3], &cfg));
         assert_ne!(a.render_json(), c.render_json());
+    }
+
+    #[test]
+    fn verified_cell_matches_unverified_numbers() {
+        let plain = run_grid_scale_cell(7, 3, &small_cfg());
+        let verified = run_grid_scale_cell(
+            7,
+            3,
+            &GridScaleConfig {
+                verify: true,
+                ..small_cfg()
+            },
+        );
+        // Certificate enforcement observes; it must never steer.
+        assert_eq!(plain.cell, verified.cell);
     }
 
     #[test]

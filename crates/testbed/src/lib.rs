@@ -16,6 +16,7 @@
 //! * [`par`] — deterministic order-preserving parallel map for the bench
 //!   sweeps (`DATAGRID_JOBS` controls the worker count).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -5,7 +5,8 @@
 #
 # Each step runs through `step`, which echoes its wall-clock time so slow
 # stages are visible at a glance both locally and in the Actions log.
-# Run a single step with e.g. `scripts/ci.sh test`.
+# Run a single step with e.g. `scripts/ci.sh test`; the Actions `analysis`
+# job runs `scripts/ci.sh lint clippy validate`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +25,16 @@ step_bench_build() { step bench-build cargo build -p datagrid-bench; }
 step_test() { step test cargo test -q; }
 step_fmt() { step fmt cargo fmt --check; }
 step_clippy() { step clippy cargo clippy --all-targets -- -D warnings; }
+# Source conformance: denied patterns (unwrap/expect/panic outside tests,
+# wall clocks in simulation crates, HashMap on export paths, println in
+# libraries, missing forbid(unsafe_code)) fail unless allowlisted with an
+# audited reason in lint-allow.txt.
+step_lint() { step lint cargo run -q -p datagrid-lint -- --deny-all; }
+# Max-min certificate enforcement in release mode: the `validate` feature
+# keeps the solver's per-settle certificate check on where
+# debug_assertions would normally turn it off, then re-runs the simnet
+# suite (including the certificate property tests) against it.
+step_validate() { step validate cargo test -q --release -p datagrid-simnet --features validate; }
 # Smoke, not a perf gate: the scale benchmark must run and emit a report
 # whose key throughput fields parse (scripts/bench.sh re-reads it with
 # `scale --check`).
@@ -39,6 +50,7 @@ else
   step_test
   step_fmt
   step_clippy
+  step_lint
   step_bench_smoke
 fi
 
