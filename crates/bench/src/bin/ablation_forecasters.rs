@@ -6,7 +6,7 @@
 //! cumulative error on the volatile Li-Zen path and the stable HIT path,
 //! plus which member the dynamic selection currently trusts.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid};
+use datagrid_bench::{banner, emit_observability, seed_from_args, warmed_paper_grid};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
 use datagrid_testbed::sites::canonical_host;
@@ -50,4 +50,5 @@ fn main() {
          path; the dynamic meta-selection picks a low-MAE member, which is why NWS uses a \
          battery rather than a single predictor."
     );
+    emit_observability(&grid, "ablation_forecasters");
 }

@@ -6,7 +6,7 @@
 //! monitoring-free baselines (random, round-robin) and the network-blind
 //! least-loaded policy.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, slug, warmed_paper_grid, MB};
 use datagrid_core::grid::FetchOptions;
 use datagrid_core::policy::SelectionPolicy;
 use datagrid_simnet::time::SimDuration;
@@ -46,6 +46,7 @@ fn main() {
             policy,
             FetchOptions::default().with_parallelism(4),
         );
+        emit_observability(&grid, &format!("ablation_policies_{}", slug(stats.policy)));
         [
             stats.policy.to_string(),
             format!("{:.2}", stats.oracle_accuracy),

@@ -7,7 +7,7 @@
 //! [`datagrid_core::replication`] and reports mean fetch time, the local
 //! hit rate and how many replica copies were created (the storage price).
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, slug, warmed_paper_grid, MB};
 use datagrid_core::grid::FetchOptions;
 use datagrid_core::replication::{ReplicationManager, ReplicationStrategy};
 use datagrid_simnet::time::{SimDuration, SimTime};
@@ -92,6 +92,7 @@ fn main() {
             }
         }
         let mean = durations.iter().sum::<f64>() / durations.len().max(1) as f64;
+        emit_observability(&grid, &format!("ablation_replication_{}", slug(label)));
         [
             label.to_string(),
             format!("{}", durations.len()),

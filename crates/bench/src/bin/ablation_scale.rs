@@ -11,7 +11,7 @@
 //! tuned weights recover the accuracy the paper's fixed 0.8/0.1/0.1 loses
 //! on grids whose BW_P values are crushed by the global normalisation.
 
-use datagrid_bench::{banner, seed_from_args, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, slug, MB};
 use datagrid_core::cost::CostModel;
 use datagrid_core::grid::{FetchOptions, GridBuilder};
 use datagrid_core::policy::SelectionPolicy;
@@ -130,6 +130,10 @@ fn main() {
                     policy,
                     FetchOptions::default().with_parallelism(4),
                 );
+                emit_observability(
+                    &grid,
+                    &format!("ablation_scale_s{sites}_{}", slug(stats.policy)),
+                );
                 [
                     format!("{sites}"),
                     stats.policy.to_string(),
@@ -174,6 +178,7 @@ fn main() {
                     SelectionPolicy::CostModel,
                     FetchOptions::default().with_parallelism(4),
                 );
+                emit_observability(&grid, &format!("ablation_scale_s{sites}_tuned"));
                 [
                     format!("{sites}"),
                     format!(

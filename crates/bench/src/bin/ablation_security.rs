@@ -8,7 +8,7 @@
 //! integrity protection (`PROT S`) and full privacy (`PROT P`), from a
 //! CPU-modest HIT server and from the dual-CPU THU server.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, slug, warmed_paper_grid, MB};
 use datagrid_gridftp::transfer::{DataChannelProtection, Protocol, TransferRequest};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
@@ -63,10 +63,20 @@ fn main() {
         let req = TransferRequest::new(256 * MB)
             .with_protocol(protocol)
             .with_protection(protection);
-        grid.transfer_between(src, dst, req)
+        let secs = grid
+            .transfer_between(src, dst, req)
             .expect("transfer runs")
             .duration()
-            .as_secs_f64()
+            .as_secs_f64();
+        emit_observability(
+            &grid,
+            &format!(
+                "ablation_security_{}_{}",
+                slug(src_name),
+                slug(&format!("{protocol:?}_{protection:?}")),
+            ),
+        );
+        secs
     });
     for ((label, _, _), pair) in cases.iter().zip(secs.chunks(2)) {
         table.row([

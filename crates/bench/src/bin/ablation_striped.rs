@@ -7,7 +7,7 @@
 //! multiply aggregate bandwidth while per-stream TCP is the bottleneck,
 //! then flatten once the shared HIT uplink saturates.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, warmed_paper_grid, MB};
 use datagrid_gridftp::transfer::TransferRequest;
 use datagrid_simnet::time::SimDuration;
 use datagrid_sysmon::host::HostId;
@@ -45,6 +45,10 @@ fn main() {
             .striped_transfer_between(&sources, client, req)
             .expect("striped transfer runs");
         let secs = outcome.duration().as_secs_f64();
+        emit_observability(
+            &grid,
+            &format!("ablation_striped_s{stripes}_p{parallelism}"),
+        );
         [
             format!("{stripes}"),
             format!("{parallelism}"),

@@ -7,7 +7,7 @@
 //! Expected shape: bandwidth-dominant weights (like the paper's 0.8/0.1/
 //! 0.1) maximise accuracy; ignoring bandwidth entirely is much worse.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, warmed_paper_grid, MB};
 use datagrid_core::cost::{CostModel, Weights};
 use datagrid_core::grid::FetchOptions;
 use datagrid_core::policy::SelectionPolicy;
@@ -65,6 +65,15 @@ fn main() {
             &trace,
             SelectionPolicy::CostModel,
             FetchOptions::default().with_parallelism(4),
+        );
+        emit_observability(
+            &grid,
+            &format!(
+                "ablation_weights_bw{:02.0}_cpu{:02.0}_io{:02.0}",
+                weights.bandwidth * 100.0,
+                weights.cpu * 100.0,
+                weights.io * 100.0
+            ),
         );
         [
             format!(
@@ -132,4 +141,5 @@ fn main() {
         weights.io,
         agreement,
     );
+    emit_observability(&grid, "ablation_weights_tuned");
 }

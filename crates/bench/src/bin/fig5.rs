@@ -5,7 +5,7 @@
 //! selectable time scale (Fig. 5b's scroll bar), and sorts sites on the
 //! *Cost* button. This binary renders the same three views as text.
 
-use datagrid_bench::{banner, seed_from_args, warmed_paper_grid, MB};
+use datagrid_bench::{banner, emit_observability, seed_from_args, warmed_paper_grid, MB};
 use datagrid_core::history::CostHistory;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
@@ -86,4 +86,5 @@ fn main() {
         "\npaper finding: \"after calculating the score of replica selection cost model, we \
          can sort a list of replicas from the most efficient replica to worst one\"."
     );
+    emit_observability(&grid, "fig5");
 }

@@ -1,0 +1,249 @@
+//! `profile` — **hot-path phase profile of the grid workload**.
+//!
+//! Replays the deterministic multi-client grid workload (same generator
+//! as `grid_scale`) with the continuous-telemetry stack switched on: a
+//! sim-time health timeline attached to each cell's grid after warm-up,
+//! and the replay driver's phase profiler read back after the run. The
+//! report shows where the replay hot path spends its work — per-phase
+//! call/item counts for settle (with nested solver attribution), decide,
+//! dispatch, retry and failover — next to decisions/sec and settles/sec.
+//!
+//! Writes `BENCH_profile.json` (override with `--out <path>` or
+//! `$DATAGRID_BENCH_OUT`). In default builds every byte of the file is a
+//! pure function of the seed; build with `--features prof-timing` to add
+//! per-phase wall-clock milliseconds (those fields, and only those, vary
+//! run to run). `profile --check [path]` re-reads the file and validates
+//! the schema — the CI smoke test, not a perf gate.
+//!
+//! Knobs: `DATAGRID_PROFILE_CLIENTS` (comma list, default
+//! `256,1024,4096`), `DATAGRID_PROFILE_FILES`,
+//! `DATAGRID_PROFILE_WINDOW_SECS` (timeline window width, default 60),
+//! `DATAGRID_PROFILE_MODE` (`static` / `contention`), `DATAGRID_JOBS`
+//! (sweep worker count; output is byte-identical for any value),
+//! `DATAGRID_OBS_DIR` (dump each cell's timeline / health report / phase
+//! table / event log / metrics).
+//!
+//! `--verify` enforces the max-min certificate on every solve. The grid
+//! health report of the largest cell is printed after the phase tables.
+
+use datagrid_bench::{banner, seed_from_args, OBS_DIR_ENV};
+use datagrid_core::prelude::SelectionMode;
+use datagrid_obs::prof::TIMING_ENABLED;
+use datagrid_simnet::time::SimDuration;
+use datagrid_testbed::experiment::TextTable;
+use datagrid_testbed::gridscale::GridScaleConfig;
+use datagrid_testbed::profile::{run_profile, ProfileConfig, ProfileReport, ProfileRun};
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn mode() -> SelectionMode {
+    match std::env::var("DATAGRID_PROFILE_MODE").as_deref() {
+        Ok("static") => SelectionMode::Static,
+        _ => SelectionMode::ContentionAware,
+    }
+}
+
+/// Extracts `"key": <number>` from the (known, flat-ish) JSON we wrote.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// CI smoke: re-read the emitted file and validate the schema.
+fn check(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !json.contains("\"name\": \"profile\"") {
+        return Err(format!("{path} is not a profile report"));
+    }
+    if !json.contains("\"timing\": true") && !json.contains("\"timing\": false") {
+        return Err(format!("{path}: missing \"timing\" flag"));
+    }
+    for key in [
+        "clients",
+        "completed",
+        "makespan_s",
+        "decisions",
+        "decisions_per_sec",
+        "settles",
+        "settles_per_sec",
+        "windows",
+    ] {
+        let v = extract_number(&json, key)
+            .ok_or_else(|| format!("{path}: missing numeric field \"{key}\""))?;
+        if !(v > 0.0) {
+            return Err(format!("{path}: field \"{key}\" = {v}, expected > 0"));
+        }
+    }
+    for phase in [
+        "\"path\": \"settle\"",
+        "\"path\": \"settle/solve\"",
+        "\"path\": \"decide\"",
+        "\"path\": \"dispatch\"",
+    ] {
+        if !json.contains(phase) {
+            return Err(format!("{path}: missing phase entry {phase}"));
+        }
+    }
+    println!(
+        "{path}: ok ({:.0} clients, {:.0} decisions, {:.2} decisions/s, {:.2} settles/s)",
+        extract_number(&json, "clients").unwrap_or(0.0),
+        extract_number(&json, "decisions").unwrap_or(0.0),
+        extract_number(&json, "decisions_per_sec").unwrap_or(0.0),
+        extract_number(&json, "settles_per_sec").unwrap_or(0.0),
+    );
+    Ok(())
+}
+
+fn dump_cell_obs(run: &ProfileRun) {
+    let Ok(dir) = std::env::var(OBS_DIR_ENV) else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let label = format!("profile_{}_c{}", run.cell.mode, run.cell.clients);
+    let dir = std::path::Path::new(&dir);
+    let files = [
+        ("timeline.json", run.timeline_json.as_str()),
+        ("health.txt", run.health_report.as_str()),
+        ("profile.txt", run.prof_text.as_str()),
+        ("events.jsonl", run.obs.events_jsonl.as_str()),
+        ("metrics.json", run.obs.metrics_json.as_str()),
+    ];
+    let write_all = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (suffix, body) in files {
+            std::fs::write(dir.join(format!("{label}.{suffix}")), body)?;
+        }
+        Ok(())
+    };
+    if let Err(err) = write_all() {
+        eprintln!("observability: dump to {} failed: {err}", dir.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_profile.json");
+        if let Err(err) = check(path) {
+            eprintln!("profile --check failed: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("DATAGRID_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
+
+    let seed = seed_from_args();
+    banner("Profile: hot-path phase breakdown of the grid replay", seed);
+    println!(
+        "wall-clock timings: {}\n",
+        if TIMING_ENABLED {
+            "on (prof-timing build; ms columns are non-deterministic)"
+        } else {
+            "off (counts only; output is a pure function of the seed)"
+        }
+    );
+
+    let client_counts = env_list("DATAGRID_PROFILE_CLIENTS", &[256, 1024, 4096]);
+    let files = env_u64("DATAGRID_PROFILE_FILES", 48) as usize;
+    let window = SimDuration::from_secs(env_u64("DATAGRID_PROFILE_WINDOW_SECS", 60));
+    let verify = args.iter().any(|a| a == "--verify");
+    if verify {
+        println!("verification on: enforcing the max-min certificate on every solve\n");
+    }
+
+    let cfg = ProfileConfig {
+        grid: GridScaleConfig {
+            files,
+            mode: mode(),
+            verify,
+            ..GridScaleConfig::default()
+        },
+        window,
+    };
+    let runs = run_profile(seed, &client_counts, &cfg);
+    let report = ProfileReport::from_runs(seed, &cfg, &runs);
+
+    let mut table = TextTable::new([
+        "clients",
+        "mode",
+        "done/fail",
+        "makespan (s)",
+        "decisions",
+        "decisions/s",
+        "settles",
+        "settles/s",
+        "windows",
+    ]);
+    for c in &report.cells {
+        table.row([
+            format!("{}", c.clients),
+            c.mode.to_string(),
+            format!("{}/{}", c.completed, c.failed),
+            format!("{:.1}", c.makespan_s),
+            format!("{}", c.decisions),
+            format!("{:.3}", c.decisions_per_sec),
+            format!("{}", c.settles),
+            format!("{:.3}", c.settles_per_sec),
+            format!("{}", c.windows),
+        ]);
+    }
+    print!("{}", table.render());
+
+    for run in &runs {
+        println!("\nphase profile, {} clients:", run.cell.clients);
+        print!("{}", run.prof_text);
+    }
+
+    // The health report of the largest cell — the per-window saturation /
+    // latency picture the ISSUE's acceptance criteria ask for.
+    if let Some(largest) = runs.iter().max_by_key(|r| r.cell.clients) {
+        println!("\ngrid health report, {} clients:", largest.cell.clients);
+        print!("{}", largest.health_report);
+    }
+
+    for run in &runs {
+        dump_cell_obs(run);
+    }
+    if verify {
+        println!(
+            "\nmax-min certificate held on every solve across {} cell(s)",
+            runs.len()
+        );
+    }
+
+    let json = report.render_json();
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+}

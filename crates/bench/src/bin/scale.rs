@@ -26,7 +26,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use datagrid_bench::{banner, MB};
+use datagrid_bench::{banner, emit_engine_observability, MB};
 use datagrid_simnet::engine::{EventKind, FlowSpec, NetSim, SolverMode};
 use datagrid_simnet::time::SimDuration;
 use datagrid_simnet::topology::{Bandwidth, LinkSpec, NodeId, Topology};
@@ -35,6 +35,13 @@ use datagrid_testbed::experiment::TextTable;
 /// The seed is cosmetic here (no randomness in the workload), but keeps
 /// the banner format consistent with the other reproducers.
 const SEED: u64 = 20050905;
+
+fn mode_label(mode: SolverMode) -> &'static str {
+    match mode {
+        SolverMode::Full => "full",
+        SolverMode::Incremental => "incremental",
+    }
+}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -132,7 +139,9 @@ fn disjoint_pairs_run(
         sim.verify_allocation()
             .expect("peak-population allocation carries the max-min certificate");
     }
-    drain(&mut sim, start)
+    let result = drain(&mut sim, start);
+    emit_engine_observability(&sim, &format!("scale_disjoint_pairs_{}", mode_label(mode)));
+    result
 }
 
 /// `hosts` spokes around one hub; every flow crosses the shared hub, so
@@ -173,7 +182,9 @@ fn coupled_hub_run(
         sim.verify_allocation()
             .expect("peak-population allocation carries the max-min certificate");
     }
-    drain(&mut sim, start)
+    let result = drain(&mut sim, start);
+    emit_engine_observability(&sim, &format!("scale_coupled_hub_{}", mode_label(mode)));
+    result
 }
 
 /// Runs the event loop until every flow has completed, then snapshots the

@@ -94,9 +94,84 @@ pub fn emit_observability(grid: &DataGrid, label: &str) {
     }
 }
 
+/// Writes a metrics dump built from a bare engine's counters under
+/// `$DATAGRID_OBS_DIR` as `<label>.metrics.{txt,json}` — the engine-only
+/// counterpart of [`emit_observability`] for bins that drive [`NetSim`]
+/// directly (no grid, so no event ring or selection audit exists). A
+/// no-op when the variable is unset or empty.
+pub fn emit_engine_observability(sim: &datagrid_simnet::engine::NetSim, label: &str) {
+    let Ok(dir) = std::env::var(OBS_DIR_ENV) else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let s = sim.stats();
+    let mut m = datagrid_obs::MetricsRegistry::new();
+    m.set_counter("simnet.events_processed", s.events_processed);
+    m.set_counter("simnet.timers_fired", s.timers_fired);
+    m.set_counter("simnet.flows_started", s.flows_started);
+    m.set_counter("simnet.flows_completed", s.flows_completed);
+    m.set_counter(
+        "simnet.background_flows_started",
+        s.background_flows_started,
+    );
+    m.set_counter("simnet.bytes_completed", s.bytes_completed);
+    m.set_counter("simnet.fault_transitions", s.fault_transitions);
+    m.set_counter("simnet.flows_dropped", s.flows_dropped);
+    m.set_counter("simnet.incremental_solves", s.incremental_solves);
+    m.set_counter("simnet.full_solves", s.full_solves);
+    m.set_counter("simnet.solver_flows_touched", s.solver_flows_touched);
+    m.set_counter("simnet.auto_shrinks", s.auto_shrinks);
+    let dir = std::path::Path::new(&dir);
+    let write_all = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{label}.metrics.txt")), m.render_text())?;
+        std::fs::write(dir.join(format!("{label}.metrics.json")), m.render_json())?;
+        Ok(())
+    };
+    match write_all() {
+        Ok(()) => println!(
+            "\nobservability: wrote engine metrics under {}/{label}.metrics.*",
+            dir.display()
+        ),
+        Err(err) => eprintln!("observability: dump to {} failed: {err}", dir.display()),
+    }
+}
+
+/// Lowercases `s` and replaces every non-alphanumeric run with a single
+/// `_`, for use in observability dump file names (`emit_observability`
+/// labels built from sweep-cell keys like `"fetch-count >= 2"`).
+pub fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut gap = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slug_flattens_cell_keys() {
+        assert_eq!(slug("fetch-count >= 2"), "fetch_count_2");
+        assert_eq!(
+            slug("GridFTP PROT S (integrity)"),
+            "gridftp_prot_s_integrity"
+        );
+        assert_eq!(slug("cost-model"), "cost_model");
+    }
 
     #[test]
     fn warmed_grid_is_ready() {

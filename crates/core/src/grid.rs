@@ -32,7 +32,8 @@ use datagrid_gridftp::transfer::{
     DataChannelProtection, PhaseRecord, Protocol, TransferOutcome, TransferRequest,
 };
 use datagrid_obs::{
-    CandidateAudit, Event, MetricsRegistry, Recorder, SelectionAuditLog, SelectionDecision,
+    CandidateAudit, Event, MetricsRegistry, PhaseProfiler, Recorder, SelectionAuditLog,
+    SelectionDecision, TimelineRecorder,
 };
 use datagrid_simnet::background::BackgroundProfile;
 use datagrid_simnet::engine::{EventKind, FlowId, FlowSpec, FlowTag, NetSim, SimEvent};
@@ -225,6 +226,7 @@ pub struct GridBuilder {
     recording: bool,
     event_capacity: usize,
     selection_mode: SelectionMode,
+    timeline: Option<SimDuration>,
 }
 
 impl GridBuilder {
@@ -249,6 +251,7 @@ impl GridBuilder {
             recording: true,
             event_capacity: Recorder::DEFAULT_EVENT_CAPACITY,
             selection_mode: SelectionMode::default(),
+            timeline: None,
         }
     }
 
@@ -379,6 +382,15 @@ impl GridBuilder {
         self
     }
 
+    /// Enables the sim-time health timeline with `window`-wide buckets
+    /// (default: off). The grid then folds link utilization, active
+    /// flows, decisions, failovers and fetch latencies into fixed windows
+    /// — see [`DataGrid::timeline`].
+    pub fn timeline_window(&mut self, window: SimDuration) -> &mut Self {
+        self.timeline = Some(window);
+        self
+    }
+
     /// Places the replica catalog / selection servers on a named host
     /// (default: the first host added).
     pub fn catalog_host(&mut self, name: impl Into<String>) -> &mut Self {
@@ -394,6 +406,7 @@ impl GridBuilder {
     /// monitored path is unroutable.
     pub fn build(self) -> DataGrid {
         assert!(!self.hosts.is_empty(), "a grid needs at least one host");
+        let timeline_window = self.timeline;
         let root = SimRng::seed_from_u64(self.seed);
         let mut sim = NetSim::new(self.topo, self.seed);
         for profile in self.background {
@@ -467,7 +480,7 @@ impl GridBuilder {
         // First monitoring tick shortly after start-up.
         sim.schedule_timer(SimTime::from_secs_f64(1.0), TOK_MONITOR);
 
-        DataGrid {
+        let mut grid = DataGrid {
             sim,
             hosts,
             host_nodes,
@@ -497,7 +510,14 @@ impl GridBuilder {
             pending_lfn: None,
             recovery_rng: root.fork("recovery"),
             selection_mode: self.selection_mode,
+            timeline: None,
+            timeline_scratch: Vec::new(),
+            prof: PhaseProfiler::new(),
+        };
+        if let Some(window) = timeline_window {
+            grid.enable_timeline(window);
         }
+        grid
     }
 }
 
@@ -538,6 +558,13 @@ pub struct DataGrid {
     recovery_rng: SimRng,
     /// How `BW_P` is obtained during candidate scoring.
     selection_mode: SelectionMode,
+    /// Sim-time windowed health series, when enabled.
+    timeline: Option<TimelineRecorder>,
+    /// Reusable buffer for per-link utilization sampling.
+    timeline_scratch: Vec<f64>,
+    /// Hot-path phase profiler (counts always; wall-clock timings only
+    /// under the `prof-timing` feature of `datagrid-obs`).
+    pub(crate) prof: PhaseProfiler,
 }
 
 impl std::fmt::Debug for DataGrid {
@@ -667,6 +694,62 @@ impl DataGrid {
         self.obs.audit()
     }
 
+    /// The sim-time health timeline, when enabled (via
+    /// [`GridBuilder::timeline_window`] or [`DataGrid::enable_timeline`]).
+    pub fn timeline(&self) -> Option<&TimelineRecorder> {
+        self.timeline.as_ref()
+    }
+
+    /// Mutable timeline access — e.g. to fold extra per-run markers in.
+    pub fn timeline_mut(&mut self) -> Option<&mut TimelineRecorder> {
+        self.timeline.as_mut()
+    }
+
+    /// Starts (or restarts) the health timeline with `window`-wide
+    /// buckets. Link labels come from the topology; the solver-counter
+    /// baseline is rebased to now, so a timeline attached after a warm-up
+    /// phase attributes only subsequent work.
+    pub fn enable_timeline(&mut self, window: SimDuration) {
+        let topo = self.sim.topology();
+        let links = (0..topo.link_count())
+            .map(|i| {
+                let (a, b) = topo.link_endpoints(LinkId::from_index(i));
+                format!("{}->{}", topo.node_name(a), topo.node_name(b))
+            })
+            .collect();
+        let mut tl = TimelineRecorder::new(window, links);
+        let s = self.sim.stats();
+        tl.rebase_engine_totals(s.incremental_solves + s.full_solves, s.solver_flows_touched);
+        self.timeline = Some(tl);
+    }
+
+    /// The hot-path phase profiler. Counts (calls, items) are always
+    /// collected and deterministic; wall-clock timings appear only when
+    /// `datagrid-obs` is built with its `prof-timing` feature.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.prof
+    }
+
+    /// Folds the network's instantaneous state — per-link utilization,
+    /// active flows, solver-work deltas — into the health timeline.
+    /// No-op when the timeline is disabled.
+    fn sample_timeline(&mut self) {
+        let Some(tl) = self.timeline.as_mut() else {
+            return;
+        };
+        let now = self.sim.now();
+        let mut utils = std::mem::take(&mut self.timeline_scratch);
+        self.sim.link_utilizations_into(&mut utils);
+        tl.sample_network(now, &utils, self.sim.active_flow_count());
+        self.timeline_scratch = utils;
+        let s = self.sim.stats();
+        tl.record_engine_totals(
+            now,
+            s.incremental_solves + s.full_solves,
+            s.solver_flows_touched,
+        );
+    }
+
     /// A point-in-time metrics snapshot: everything in the live registry
     /// plus the counters maintained outside it by the network engine
     /// (`simnet.*`) and the replica catalog (`catalog.*`).
@@ -675,7 +758,7 @@ impl DataGrid {
     /// [`MetricsRegistry::render_json`]; both are deterministic, so two
     /// identically seeded runs export byte-identical snapshots.
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
-        let mut m = self.obs.metrics().clone();
+        let mut m = self.obs.metrics_snapshot();
         let s = self.sim.stats();
         m.set_counter("simnet.events_processed", s.events_processed);
         m.set_counter("simnet.timers_fired", s.timers_fired);
@@ -698,8 +781,6 @@ impl DataGrid {
         m.set_counter("catalog.misses", c.misses());
         m.set_counter("catalog.lists", c.lists());
         m.set_counter("catalog.mutations", c.mutations());
-        m.set_counter("obs.events_dropped", self.obs.dropped_events());
-        m.set_counter("obs.decisions_dropped", self.obs.audit().dropped());
         m
     }
 
@@ -1630,6 +1711,9 @@ impl DataGrid {
     ) {
         let now = self.sim.now();
         let picked = &candidates[chosen];
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record_decision(now);
+        }
         {
             let m = self.obs.metrics_mut();
             m.inc("selection.decisions");
@@ -1754,6 +1838,13 @@ impl DataGrid {
                 panic!("orphan timer token {other} reached the grid loop")
             }
             EventKind::FaultChanged(notice) => {
+                if let Some(tl) = self.timeline.as_mut() {
+                    tl.record_fault(ev.time);
+                }
+                // Capture the post-transition network shape immediately —
+                // a fault can reroute or strand flows between monitor
+                // ticks, and that is exactly what the timeline is for.
+                self.sample_timeline();
                 let label = notice.kind.label();
                 let m = self.obs.metrics_mut();
                 m.inc("fault.transitions");
@@ -1795,6 +1886,7 @@ impl DataGrid {
 
     fn on_monitor_tick(&mut self) {
         self.trace.sample(&self.sim);
+        self.sample_timeline();
         let now = self.sim.now();
         for (i, host) in self.hosts.iter_mut().enumerate() {
             host.advance_to(now);

@@ -30,7 +30,7 @@ use datagrid_catalog::name::LogicalFileName;
 use datagrid_gridftp::executor::{SessionStatus, TransferSession};
 use datagrid_gridftp::instrument::protocol_label;
 use datagrid_gridftp::transfer::{PhaseRecord, TransferOutcome, TransferRequest};
-use datagrid_obs::Event;
+use datagrid_obs::{Event, PhaseProfiler};
 use datagrid_simnet::engine::EventKind;
 use datagrid_simnet::time::{SimDuration, SimTime};
 use datagrid_sysmon::host::HostId;
@@ -192,6 +192,9 @@ struct Driver<'a> {
     timers: HashMap<u64, usize>,
     outcomes: Vec<Option<ReplayOutcome>>,
     remaining: usize,
+    /// The grid's phase profiler, held here for the duration of the run
+    /// so span guards can borrow it while `grid` methods take `&mut`.
+    prof: PhaseProfiler,
 }
 
 impl DataGrid {
@@ -226,6 +229,10 @@ impl DataGrid {
                 .with("jobs", jobs.len())
                 .with("mode", self.selection_mode.label()),
         );
+        // Open the first timeline window at the replay boundary even if no
+        // monitor tick has fired yet.
+        self.sample_timeline();
+        let prof = std::mem::take(&mut self.prof);
         let mut driver = Driver {
             grid: self,
             options,
@@ -234,6 +241,7 @@ impl DataGrid {
             timers: HashMap::new(),
             outcomes: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
             remaining: jobs.len(),
+            prof,
         };
         for (idx, job) in jobs.iter().enumerate() {
             let token = driver.grid.alloc_session_tokens();
@@ -256,8 +264,13 @@ impl DataGrid {
                 phase: Phase::Arrival,
             });
         }
-        driver.run()?;
+        let run_result = driver.run();
         let raw = driver.outcomes;
+        let prof = driver.prof;
+        self.prof = prof;
+        run_result?;
+        // Close the timeline on the drained state of the network.
+        self.sample_timeline();
         let finished = self.sim.now();
         let outcomes: Vec<ReplayOutcome> = raw
             .into_iter()
@@ -281,11 +294,28 @@ impl DataGrid {
 impl Driver<'_> {
     fn run(&mut self) -> Result<(), GridError> {
         while self.remaining > 0 {
-            let ev = self
-                .grid
-                .sim
-                .next_event()
-                .expect("pending replay jobs keep the queue non-empty");
+            let before = self.grid.sim.stats();
+            let ev = {
+                let _settle = self.prof.span("settle");
+                self.grid
+                    .sim
+                    .next_event()
+                    .expect("pending replay jobs keep the queue non-empty")
+            };
+            // Attribute the solver work this settle step triggered to a
+            // nested `settle/solve` phase, from the engine's own counters.
+            let after = self.grid.sim.stats();
+            let solves = (after.incremental_solves + after.full_solves)
+                .saturating_sub(before.incremental_solves + before.full_solves);
+            if solves > 0 {
+                self.prof.record_external(
+                    &["settle", "solve"],
+                    solves,
+                    after
+                        .solver_flows_touched
+                        .saturating_sub(before.solver_flows_touched),
+                );
+            }
             // 1. Control timers (arrival, decision latency, backoff,
             //    local read) — exact token match.
             if let EventKind::TimerFired(tok) = &ev.kind {
@@ -340,19 +370,26 @@ impl Driver<'_> {
             }
             Phase::Deciding => self.decide(idx),
             Phase::Backoff { pause } => {
-                let st = &self.states[idx];
-                let choice = st.choice.as_ref().expect("backoff implies a choice");
-                let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
-                let (attempt, committed) = (st.episode_attempts + 1, st.committed);
-                self.grid.obs.metrics_mut().inc("transfer.retries");
-                self.grid.obs.emit(
-                    Event::new(self.grid.sim.now(), "gridftp", "transfer.retry")
-                        .with("src", src_name.as_str())
-                        .with("dst", dst_name.as_str())
-                        .with("attempt", attempt)
-                        .with("backoff_secs", pause.as_secs_f64())
-                        .with("resume_offset", committed),
-                );
+                {
+                    let _retry = self.prof.span("retry");
+                    let st = &self.states[idx];
+                    let choice = st.choice.as_ref().expect("backoff implies a choice");
+                    let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
+                    let (attempt, committed) = (st.episode_attempts + 1, st.committed);
+                    let now = self.grid.sim.now();
+                    if let Some(tl) = self.grid.timeline.as_mut() {
+                        tl.record_retry(now);
+                    }
+                    self.grid.obs.metrics_mut().inc("transfer.retries");
+                    self.grid.obs.emit(
+                        Event::new(now, "gridftp", "transfer.retry")
+                            .with("src", src_name.as_str())
+                            .with("dst", dst_name.as_str())
+                            .with("attempt", attempt)
+                            .with("backoff_secs", pause.as_secs_f64())
+                            .with("resume_offset", committed),
+                    );
+                }
                 self.start_attempt(idx)
             }
             Phase::LocalRead { started } => {
@@ -389,9 +426,11 @@ impl Driver<'_> {
     /// replica's first attempt. Re-entered after an abandon with the
     /// failed hosts excluded (the `"failover"` policy label).
     fn decide(&mut self, idx: usize) -> Result<(), GridError> {
+        let guard = self.prof.span("decide");
         let client = self.states[idx].client;
         let lfn = self.states[idx].lfn.clone();
         let candidates = self.grid.score_candidates(client, &lfn)?;
+        self.prof.add_items(candidates.len() as u64);
         let failover = !self.states[idx].failed_over.is_empty();
         let chosen = if failover {
             let next = candidates
@@ -400,6 +439,7 @@ impl Driver<'_> {
             match next {
                 Some(i) => i,
                 None => {
+                    drop(guard);
                     self.fail_job(idx);
                     return Ok(());
                 }
@@ -432,6 +472,7 @@ impl Driver<'_> {
                 .entry()
                 .size_bytes();
         }
+        drop(guard);
         self.start_attempt(idx)
     }
 
@@ -439,15 +480,18 @@ impl Driver<'_> {
     /// synthesised local read for local hits, a GridFTP session
     /// otherwise, resuming from the committed offset on retries.
     fn start_attempt(&mut self, idx: usize) -> Result<(), GridError> {
+        let guard = self.prof.span("dispatch");
         let st = &self.states[idx];
         let choice = st.choice.clone().expect("attempts follow a decision");
         let client = st.client;
         if choice.is_local {
+            self.prof.add_items(st.total_bytes);
             let rate = self.grid.hosts[client.index()].available_disk_read();
             let pause = rate.time_for_bytes(st.total_bytes);
             self.states[idx].phase = Phase::LocalRead {
                 started: self.grid.sim.now(),
             };
+            drop(guard);
             self.schedule_control(idx, pause);
             return Ok(());
         }
@@ -478,11 +522,13 @@ impl Driver<'_> {
         .with_costs(self.grid.costs)
         .with_cached_control(cached)
         .with_stall_timeout(self.recovery.stall_timeout);
+        self.prof.add_items(total - committed);
         let st = &mut self.states[idx];
         st.episode_attempts += 1;
         st.attempts += 1;
         session.start(&mut self.grid.sim);
         st.phase = Phase::Transferring(Box::new(session));
+        drop(guard);
         Ok(())
     }
 
@@ -550,11 +596,16 @@ impl Driver<'_> {
     /// record the failover, and either fail the job or schedule the next
     /// decision round.
     fn abandon_replica(&mut self, idx: usize) -> Result<(), GridError> {
+        let guard = self.prof.span("failover");
         let st = &mut self.states[idx];
         let choice = st.choice.take().expect("abandon follows attempts");
+        let now = self.grid.sim.now();
+        if let Some(tl) = self.grid.timeline.as_mut() {
+            tl.record_failover(now);
+        }
         self.grid.obs.metrics_mut().inc("transfer.abandoned");
         self.grid.obs.emit(
-            Event::new(self.grid.sim.now(), "gridftp", "transfer.abandoned")
+            Event::new(now, "gridftp", "transfer.abandoned")
                 .with("src", choice.host_name.as_str())
                 .with("dst", st.client_name.as_str())
                 .with("attempts", st.episode_attempts)
@@ -563,7 +614,7 @@ impl Driver<'_> {
         self.grid.catalog.mark_suspect(&choice.location);
         self.grid.obs.metrics_mut().inc("selection.failovers");
         self.grid.obs.emit(
-            Event::new(self.grid.sim.now(), "select", "selection.failover")
+            Event::new(now, "select", "selection.failover")
                 .with("lfn", st.lfn.as_str())
                 .with("abandoned", choice.host_name.as_str())
                 .with("attempts", st.episode_attempts)
@@ -571,12 +622,14 @@ impl Driver<'_> {
         );
         st.failed_over.push(choice.host_name);
         if st.failed_over.len() as u64 > u64::from(self.recovery.max_failovers) {
+            drop(guard);
             self.fail_job(idx);
             return Ok(());
         }
-        self.states[idx].decision_started = self.grid.sim.now();
+        self.states[idx].decision_started = now;
         self.states[idx].phase = Phase::Deciding;
         let latency = self.grid.service_latency(self.states[idx].client);
+        drop(guard);
         self.schedule_control(idx, latency);
         Ok(())
     }
@@ -598,14 +651,20 @@ impl Driver<'_> {
             }
         }
         let st = &self.states[idx];
+        let now = self.grid.sim.now();
+        let latency_secs = (now - st.submitted).as_secs_f64();
+        if let Some(tl) = self.grid.timeline.as_mut() {
+            tl.observe_latency(now, latency_secs);
+            tl.record_completion(now, true);
+        }
         self.grid.obs.metrics_mut().inc("replay.completed");
         self.grid.obs.emit(
-            Event::new(self.grid.sim.now(), "replay", "replay.job.done")
+            Event::new(now, "replay", "replay.job.done")
                 .with("client", st.client_name.as_str())
                 .with("lfn", st.lfn.as_str())
                 .with("winner", winner.as_str())
                 .with("bytes", delivered)
-                .with("secs", (self.grid.sim.now() - st.submitted).as_secs_f64()),
+                .with("secs", latency_secs),
         );
         self.outcomes[idx] = Some(ReplayOutcome {
             client: st.client_name.clone(),
@@ -629,6 +688,9 @@ impl Driver<'_> {
     /// abandoned.
     fn fail_job(&mut self, idx: usize) {
         let st = &self.states[idx];
+        if let Some(tl) = self.grid.timeline.as_mut() {
+            tl.record_completion(self.grid.sim.now(), false);
+        }
         self.grid.obs.metrics_mut().inc("replay.failed");
         self.grid.obs.emit(
             Event::new(self.grid.sim.now(), "replay", "replay.job.failed")

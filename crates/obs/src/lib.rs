@@ -35,13 +35,17 @@ pub mod audit;
 pub mod bus;
 pub mod event;
 pub mod metrics;
+pub mod prof;
 pub mod span;
+pub mod timeline;
 
 pub use audit::{CandidateAudit, SelectionAuditLog, SelectionDecision};
 pub use bus::{EventBus, EventSink, JsonlSink, RingBufferSink, TextSink};
 pub use event::{Event, RingBuffer, Value};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use prof::{PhaseGuard, PhaseProfiler, PhaseStat, ProfSnapshot};
 pub use span::{PhaseSpan, TransferSpan};
+pub use timeline::{LinkHeat, TimelineRecorder, TimelineTotals, WindowSummary};
 
 /// The `Clone`-able observability state a grid carries by value.
 ///
@@ -115,6 +119,18 @@ impl Recorder {
         &self.metrics
     }
 
+    /// A copy of the metrics registry with the recorder's own telemetry
+    /// loss injected: `obs.events_dropped` (ring-buffer evictions) and
+    /// `obs.decisions_dropped` (audit-log evictions). Every text/JSON
+    /// dump built from this snapshot therefore shows whether — and how
+    /// much — telemetry was silently discarded.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut snapshot = self.metrics.clone();
+        snapshot.set_counter("obs.events_dropped", self.events.dropped());
+        snapshot.set_counter("obs.decisions_dropped", self.audit.dropped());
+        snapshot
+    }
+
     /// Mutable access to the metrics registry.
     ///
     /// Metric updates land even while the recorder is disabled — upkeep is
@@ -167,5 +183,52 @@ impl Recorder {
 impl Default for Recorder {
     fn default() -> Self {
         Recorder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagrid_simnet::time::SimTime;
+
+    fn decision(i: u64) -> SelectionDecision {
+        SelectionDecision {
+            time: SimTime::from_nanos(i),
+            lfn: format!("lfn{i}"),
+            client: "client".to_string(),
+            policy: "cost-model".to_string(),
+            weights: (0.6, 0.2, 0.2),
+            candidates: Vec::new(),
+            winner: "host".to_string(),
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_exposes_drop_counters_in_every_dump() {
+        let mut rec = Recorder::with_capacity(2);
+        rec.metrics_mut().inc("selection.decisions");
+        for i in 0..5u64 {
+            rec.emit(Event::new(SimTime::from_nanos(i), "grid", "tick"));
+        }
+        // Overflow the audit log too, so both loss counters are non-zero.
+        let mut audit = SelectionAuditLog::with_capacity(1);
+        audit.record(decision(0));
+        audit.record(decision(1));
+        *rec.audit_mut() = audit;
+
+        let snapshot = rec.metrics_snapshot();
+        assert_eq!(snapshot.counter("obs.events_dropped"), 3);
+        assert_eq!(snapshot.counter("obs.decisions_dropped"), 1);
+        assert_eq!(snapshot.counter("selection.decisions"), 1);
+        let text = snapshot.render_text();
+        assert!(text.contains("obs.events_dropped 3"), "text dump:\n{text}");
+        assert!(
+            snapshot.render_json().contains("\"obs.events_dropped\":3"),
+            "json dump: {}",
+            snapshot.render_json()
+        );
+        // The live registry stays untouched — the loss counters are
+        // injected at snapshot time, not double-counted.
+        assert_eq!(rec.metrics().counter("obs.events_dropped"), 0);
     }
 }

@@ -97,6 +97,37 @@ impl Histogram {
     pub fn bucket_counts(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket holding the target rank, clamped to the observed
+    /// `[min, max]` range. Deterministic: a pure function of the bucket
+    /// counts. Returns `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            let before = cumulative;
+            cumulative += bucket;
+            if bucket == 0 || cumulative < rank {
+                continue;
+            }
+            let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
+            let upper = if i < self.bounds.len() {
+                self.bounds[i]
+            } else {
+                self.max
+            };
+            let fraction = (rank - before) as f64 / bucket as f64;
+            let estimate = lower + (upper - lower) * fraction;
+            return Some(estimate.clamp(self.min, self.max));
+        }
+        // Unreachable: cumulative over all buckets equals `count >= rank`.
+        Some(self.max)
+    }
 }
 
 /// Registry of named metrics, exported in sorted-name order so two
@@ -328,6 +359,27 @@ mod tests {
         assert!(text.contains("lat le 10 2"), "cumulative at bound:\n{text}");
         assert!(text.contains("lat le +inf 3"));
         assert!(a.render_json().starts_with("{\"counters\":{"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 5.0]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0.5, 1.5, 1.6, 1.7, 4.0, 9.0] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((1.0..=2.0).contains(&p50), "median in (1,2], got {p50}");
+        let p99 = h.quantile(0.99).expect("non-empty");
+        assert!(p99 > 5.0, "p99 in the overflow bucket, got {p99}");
+        assert!(p99 <= 9.0, "clamped to observed max, got {p99}");
+        let p0 = h.quantile(0.0).expect("non-empty");
+        assert!(p0 >= 0.5, "clamped to observed min, got {p0}");
+        // Single observation: every quantile is that value.
+        let mut one = Histogram::new(&[10.0]);
+        one.observe(3.0);
+        assert_eq!(one.quantile(0.5), Some(3.0));
+        assert_eq!(one.quantile(1.0), Some(3.0));
     }
 
     #[test]

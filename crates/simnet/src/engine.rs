@@ -1120,6 +1120,17 @@ impl NetSim {
         (used / cap).max(0.0)
     }
 
+    /// Write every link's instantaneous utilisation (0–1) into `out`, in
+    /// link-index order, reusing the caller's buffer. One deterministic
+    /// pass for timeline sampling, instead of per-link calls.
+    pub fn link_utilizations_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.link_caps.len());
+        for index in 0..self.link_caps.len() {
+            out.push(self.link_utilization(LinkId::from_index(index)));
+        }
+    }
+
     /// Returns the next public event, advancing simulated time.
     ///
     /// Returns `None` when no public event can ever arrive: no user or

@@ -51,6 +51,10 @@ pub struct GridScaleConfig {
     /// after the replay. Costs solver time; never changes the numbers, so
     /// `BENCH_grid.json` stays byte-identical either way.
     pub verify: bool,
+    /// Attach a sim-time health timeline with this window width after
+    /// warm-up, so the replay's link utilization / latency / decision
+    /// history is recorded per window (`None` = no timeline).
+    pub timeline: Option<SimDuration>,
 }
 
 impl Default for GridScaleConfig {
@@ -65,6 +69,7 @@ impl Default for GridScaleConfig {
             mode: SelectionMode::ContentionAware,
             parallelism: 0,
             verify: false,
+            timeline: None,
         }
     }
 }
@@ -231,6 +236,11 @@ pub fn build_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> (DataGrid
         .install(&mut grid)
         .expect("generated workload installs cleanly");
     grid.warm_up(cfg.warm);
+    if let Some(window) = cfg.timeline {
+        // After warm-up, so the timeline (and its solver-work attribution)
+        // covers only the replay itself.
+        grid.enable_timeline(window);
+    }
     (grid, workload)
 }
 

@@ -11,6 +11,9 @@
 //! * [`gridscale`] — the grid-scale sweep harness: N concurrent clients
 //!   replayed against one shared simulator, per-cell metrics and the
 //!   deterministic `BENCH_grid.json` body,
+//! * [`profile`] — the hot-path phase profile harness: the grid workload
+//!   replayed with health timelines and the phase profiler attached,
+//!   rendering the deterministic `BENCH_profile.json` body,
 //! * [`experiment`] — text-table rendering and the selection-quality
 //!   harness (oracle comparison) used by the benches,
 //! * [`par`] — deterministic order-preserving parallel map for the bench
@@ -24,6 +27,7 @@ pub mod calibration;
 pub mod experiment;
 pub mod gridscale;
 pub mod par;
+pub mod profile;
 pub mod sites;
 pub mod workload;
 
@@ -40,6 +44,10 @@ pub mod prelude {
         GridScaleConfig, GridScaleReport, GridScaleRun,
     };
     pub use crate::par::{par_map, worker_count};
+    pub use crate::profile::{
+        run_profile, run_profile_cell, ProfileCell, ProfileConfig, ProfilePhase, ProfileReport,
+        ProfileRun,
+    };
     pub use crate::sites::{canonical_host, paper_testbed, PaperSites};
     pub use crate::workload::{
         grid_workload, synthetic_files, GridWorkload, GridWorkloadSpec, Request, RequestTrace,

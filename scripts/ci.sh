@@ -39,6 +39,10 @@ step_validate() { step validate cargo test -q --release -p datagrid-simnet --fea
 # whose key throughput fields parse (scripts/bench.sh re-reads it with
 # `scale --check`).
 step_bench_smoke() { step bench-smoke scripts/bench.sh target/BENCH_simnet.json; }
+# Continuous-telemetry smoke: the profile benchmark must emit a valid
+# BENCH_profile.json that is byte-identical across same-seed runs, and
+# the prof-timing build must stay green (scripts/profile_smoke.sh).
+step_profile_smoke() { step profile-smoke scripts/profile_smoke.sh target/BENCH_profile.json; }
 
 if [ $# -gt 0 ]; then
   for sel in "$@"; do
@@ -52,6 +56,7 @@ else
   step_clippy
   step_lint
   step_bench_smoke
+  step_profile_smoke
 fi
 
 echo "==> ci OK"

@@ -1,0 +1,75 @@
+//! Satellite lock-down: continuous telemetry is a pure function of the
+//! seed. Same seed must reproduce the health-timeline JSON, the rendered
+//! health report and the `BENCH_profile.json` body byte-for-byte (in
+//! default builds — `prof-timing` adds wall-clock fields that are
+//! excluded by construction); different seeds must actually change the
+//! recorded timeline.
+
+use datagrid::obs::prof::TIMING_ENABLED;
+use datagrid::prelude::*;
+use proptest::prelude::*;
+
+fn quick_cfg(files: usize) -> ProfileConfig {
+    ProfileConfig {
+        grid: GridScaleConfig {
+            files,
+            warm: SimDuration::from_secs(30),
+            ..GridScaleConfig::default()
+        },
+        window: SimDuration::from_secs(15),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two profile sweeps from the same seed emit byte-identical timeline
+    /// JSON, health reports and report bodies for every cell.
+    #[test]
+    fn same_seed_byte_identical_timeline_and_profile(
+        seed in 0u64..1_000_000,
+        clients in 2usize..6,
+        files in 4usize..10,
+    ) {
+        let cfg = quick_cfg(files);
+        let counts = [clients, clients + 2];
+        let a = run_profile(seed, &counts, &cfg);
+        let b = run_profile(seed, &counts, &cfg);
+        prop_assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            prop_assert_eq!(&ra.timeline_json, &rb.timeline_json);
+            prop_assert_eq!(&ra.health_report, &rb.health_report);
+            // Phase counts are deterministic even in prof-timing builds.
+            prop_assert_eq!(&ra.cell, &rb.cell);
+            // The timeline is a real record, not an empty shell.
+            prop_assert!(ra.cell.windows > 0);
+            prop_assert!(ra.timeline_json.contains("\"hottest_links\""));
+        }
+        if !TIMING_ENABLED {
+            let ja = ProfileReport::from_runs(seed, &cfg, &a).render_json();
+            let jb = ProfileReport::from_runs(seed, &cfg, &b).render_json();
+            prop_assert_eq!(ja, jb);
+        }
+    }
+
+    /// Different seeds produce genuinely different timelines and reports.
+    #[test]
+    fn different_seeds_different_timelines(
+        seed in 0u64..1_000_000,
+        clients in 3usize..8,
+    ) {
+        let cfg = quick_cfg(6);
+        let other = seed ^ 0xdead_beef;
+        let a = run_profile(seed, &[clients], &cfg);
+        let b = run_profile(other, &[clients], &cfg);
+        prop_assert_ne!(
+            &a[0].timeline_json, &b[0].timeline_json,
+            "timelines must diverge across seeds"
+        );
+        if !TIMING_ENABLED {
+            let ja = ProfileReport::from_runs(seed, &cfg, &a).render_json();
+            let jb = ProfileReport::from_runs(other, &cfg, &b).render_json();
+            prop_assert_ne!(ja, jb, "reports must diverge across seeds");
+        }
+    }
+}
