@@ -12,7 +12,7 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     for streams in [1u32, 8] {
-        group.bench_function(format!("streams_{streams}_256mb"), |b| {
+        group.bench_function(&format!("streams_{streams}_256mb"), |b| {
             b.iter(|| {
                 let mut grid = warmed_paper_grid(1, SimDuration::from_secs(30));
                 let src = grid.host_id(canonical_host("alpha02")).unwrap();

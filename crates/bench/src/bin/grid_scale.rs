@@ -15,7 +15,7 @@
 //! key fields parse — the CI smoke test, not a perf gate.
 //!
 //! Knobs: `DATAGRID_GRID_CLIENTS` (comma list, default
-//! `16,64,256,1024`), `DATAGRID_GRID_FILES`, `DATAGRID_GRID_MODES`
+//! `16,64,256,1024,4096,16384`), `DATAGRID_GRID_FILES`, `DATAGRID_GRID_MODES`
 //! (`static`, `contention`, or `both`), `DATAGRID_JOBS` (sweep worker
 //! count; output is byte-identical for any value), `DATAGRID_OBS_DIR`
 //! (dump each cell's event log / audit / metrics).
@@ -85,7 +85,7 @@ fn check(path: &str) -> Result<(), String> {
     ] {
         let v = extract_number(&json, key)
             .ok_or_else(|| format!("{path}: missing numeric field \"{key}\""))?;
-        if !(v > 0.0) {
+        if v.is_nan() || v <= 0.0 {
             return Err(format!("{path}: field \"{key}\" = {v}, expected > 0"));
         }
     }
@@ -159,7 +159,7 @@ fn main() {
     let seed = seed_from_args();
     banner("Grid scale: deterministic multi-client fetch replay", seed);
 
-    let client_counts = env_list("DATAGRID_GRID_CLIENTS", &[16, 64, 256, 1024]);
+    let client_counts = env_list("DATAGRID_GRID_CLIENTS", &[16, 64, 256, 1024, 4096, 16384]);
     let files = env_usize("DATAGRID_GRID_FILES", 48);
     let verify = args.iter().any(|a| a == "--verify");
     if verify {

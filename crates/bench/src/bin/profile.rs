@@ -26,13 +26,82 @@
 //! `--verify` enforces the max-min certificate on every solve. The grid
 //! health report of the largest cell is printed after the phase tables.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use datagrid_bench::{banner, seed_from_args, OBS_DIR_ENV};
 use datagrid_core::prelude::SelectionMode;
 use datagrid_obs::prof::TIMING_ENABLED;
+use datagrid_simnet::prelude::{Bandwidth, FlowSpec, LinkSpec, NetSim, Topology};
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::experiment::TextTable;
 use datagrid_testbed::gridscale::GridScaleConfig;
 use datagrid_testbed::profile::{run_profile, ProfileConfig, ProfileReport, ProfileRun};
+
+/// Counts heap allocations so the steady-state dispatch probe can report
+/// a real measurement into `BENCH_profile.json` instead of an assertion
+/// that lives only in the test suite. The counter is a single relaxed
+/// atomic bump per allocation — invisible next to simulation work.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Measures heap allocations across a warmed engine event drain — the
+/// number the perf budget pins to zero. Mirrors the `alloc_steady`
+/// integration test: two churn cycles size every reusable buffer, then a
+/// third identical flow population is drained with the counter running
+/// (flow *starts* are outside the claim). Runs single-threaded after the
+/// sweep's worker threads have joined, so every counted allocation is the
+/// drain's own.
+fn steady_dispatch_alloc_probe() -> u64 {
+    let mut topo = Topology::new();
+    let a = topo.add_node("a");
+    let b = topo.add_node("b");
+    let c = topo.add_node("c");
+    let hub = topo.add_node("hub");
+    let spec = || LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(1));
+    topo.add_duplex_link(a, hub, spec());
+    topo.add_duplex_link(b, hub, spec());
+    topo.add_duplex_link(c, hub, spec());
+    let mut sim = NetSim::new(topo, 7);
+    sim.set_validation(false);
+    sim.set_auto_shrink(false);
+
+    const FLOWS: usize = 64;
+    let start_all = |sim: &mut NetSim| {
+        for i in 0..FLOWS {
+            let (src, dst) = if i % 2 == 0 { (a, b) } else { (a, c) };
+            sim.start_flow(FlowSpec::new(src, dst, 4_000_000 + (i as u64) * 37_000));
+        }
+    };
+    for _ in 0..2 {
+        start_all(&mut sim);
+        while sim.next_event().is_some() {}
+    }
+    start_all(&mut sim);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    while sim.next_event().is_some() {}
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
     std::env::var(name)
@@ -88,12 +157,30 @@ fn check(path: &str) -> Result<(), String> {
         "decisions_per_sec",
         "settles",
         "settles_per_sec",
+        "solves",
+        "solves_per_decision",
         "windows",
     ] {
         let v = extract_number(&json, key)
             .ok_or_else(|| format!("{path}: missing numeric field \"{key}\""))?;
-        if !(v > 0.0) {
+        if v.is_nan() || v <= 0.0 {
             return Err(format!("{path}: field \"{key}\" = {v}, expected > 0"));
+        }
+    }
+    // Hot-path counters that may legitimately be zero (a tiny cell can
+    // batch nothing); present and non-negative is the shape contract.
+    for key in [
+        "event_cohorts",
+        "batched_solves",
+        "solves_avoided",
+        "scratch_hits",
+        "scratch_misses",
+        "steady_dispatch_allocs",
+    ] {
+        let v = extract_number(&json, key)
+            .ok_or_else(|| format!("{path}: missing numeric field \"{key}\""))?;
+        if v < 0.0 {
+            return Err(format!("{path}: field \"{key}\" = {v}, expected >= 0"));
         }
     }
     for phase in [
@@ -157,6 +244,35 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("--check-budget") {
+        let Some(budget_path) = args.get(1) else {
+            eprintln!("usage: profile --check-budget <budget.json> [report.json]");
+            std::process::exit(2);
+        };
+        let report_path = args
+            .get(2)
+            .map(String::as_str)
+            .unwrap_or("BENCH_profile.json");
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("profile --check-budget: cannot read {p}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let budget = read(budget_path);
+        let report = read(report_path);
+        match datagrid_bench::budget::check_budget(&report, &budget) {
+            Ok(summary) => {
+                println!("{report_path}: within budget {budget_path}");
+                print!("{summary}");
+            }
+            Err(err) => {
+                eprintln!("profile --check-budget failed against {budget_path}:\n{err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -193,7 +309,10 @@ fn main() {
         window,
     };
     let runs = run_profile(seed, &client_counts, &cfg);
-    let report = ProfileReport::from_runs(seed, &cfg, &runs);
+    let mut report = ProfileReport::from_runs(seed, &cfg, &runs);
+    // Worker threads have joined; the probe's drain is the only live work,
+    // so the count is exact (and deterministic: zero, or the budget trips).
+    report.steady_dispatch_allocs = Some(steady_dispatch_alloc_probe());
 
     let mut table = TextTable::new([
         "clients",
@@ -204,6 +323,9 @@ fn main() {
         "decisions/s",
         "settles",
         "settles/s",
+        "solves/dec",
+        "avoided",
+        "scratch h/m",
         "windows",
     ]);
     for c in &report.cells {
@@ -216,10 +338,16 @@ fn main() {
             format!("{:.3}", c.decisions_per_sec),
             format!("{}", c.settles),
             format!("{:.3}", c.settles_per_sec),
+            format!("{:.2}", c.solves_per_decision),
+            format!("{}", c.solves_avoided),
+            format!("{}/{}", c.scratch_hits, c.scratch_misses),
             format!("{}", c.windows),
         ]);
     }
     print!("{}", table.render());
+    if let Some(allocs) = report.steady_dispatch_allocs {
+        println!("\nsteady-state dispatch allocations (warmed engine drain): {allocs}");
+    }
 
     for run in &runs {
         println!("\nphase profile, {} clients:", run.cell.clients);

@@ -277,7 +277,7 @@ fn check(path: &str) -> Result<(), String> {
     ] {
         let v = extract_number(&json, key)
             .ok_or_else(|| format!("{path}: missing numeric field \"{key}\""))?;
-        if !(v > 0.0) {
+        if v.is_nan() || v <= 0.0 {
             return Err(format!("{path}: field \"{key}\" = {v}, expected > 0"));
         }
     }

@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
+
 use datagrid_core::grid::DataGrid;
 use datagrid_simnet::time::SimDuration;
 use datagrid_testbed::calibration::Calibration;

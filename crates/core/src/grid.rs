@@ -19,6 +19,7 @@
 pub mod modelcheck;
 pub mod replay;
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use datagrid_catalog::catalog::ReplicaCatalog;
@@ -513,12 +514,115 @@ impl GridBuilder {
             timeline: None,
             timeline_scratch: Vec::new(),
             prof: PhaseProfiler::new(),
+            score_scratch: RefCell::new(ScoreScratch::default()),
+            selection_epoch: 0,
         };
         if let Some(window) = timeline_window {
             grid.enable_timeline(window);
         }
         grid
     }
+}
+
+/// One client's cached candidate ranking, stored structure-of-arrays so
+/// repeat decisions reuse the parallel factor/score columns without
+/// re-deriving them (the paper's per-decision BW_P/CPU_P/IO_P gathering).
+#[derive(Debug, Clone, Default)]
+struct ScoreEntry {
+    /// Whether the columns below hold a ranking at all.
+    valid: bool,
+    /// Logical file the ranking answers for.
+    lfn: String,
+    /// [`DataGrid::selection_epoch`] the ranking was computed under.
+    epoch: u64,
+    /// [`NetSim::net_version`] at compute time; checked only when
+    /// `used_residual` is set.
+    net_version: u64,
+    /// Whether any candidate's `BW_P` came from a live residual-bandwidth
+    /// probe (contention-aware mode, or the sensorless fallback) rather
+    /// than purely from sensor/MDS readings. Residual reads go stale the
+    /// moment any flow starts, ends or changes cap, so such entries are
+    /// additionally keyed on the network version.
+    used_residual: bool,
+    /// Ranked candidate columns, best first (post [`rank_by_score`]).
+    host: Vec<HostId>,
+    name: Vec<String>,
+    location: Vec<PhysicalFileName>,
+    bw: Vec<f64>,
+    cpu: Vec<f64>,
+    io: Vec<f64>,
+    score: Vec<f64>,
+    local: Vec<bool>,
+}
+
+impl ScoreEntry {
+    /// Overwrites the entry with a freshly ranked candidate list.
+    fn store(
+        &mut self,
+        lfn: &str,
+        epoch: u64,
+        net_version: u64,
+        used_residual: bool,
+        ranked: &[CandidateScore],
+    ) {
+        self.valid = true;
+        self.lfn.clear();
+        self.lfn.push_str(lfn);
+        self.epoch = epoch;
+        self.net_version = net_version;
+        self.used_residual = used_residual;
+        self.host.clear();
+        self.name.clear();
+        self.location.clear();
+        self.bw.clear();
+        self.cpu.clear();
+        self.io.clear();
+        self.score.clear();
+        self.local.clear();
+        for c in ranked {
+            self.host.push(c.host);
+            self.name.push(c.host_name.clone());
+            self.location.push(c.location.clone());
+            self.bw.push(c.factors.bandwidth_fraction);
+            self.cpu.push(c.factors.cpu_idle);
+            self.io.push(c.factors.io_idle);
+            self.score.push(c.score);
+            self.local.push(c.is_local);
+        }
+    }
+
+    /// Rebuilds the ranked candidate list from the columns into `out`
+    /// (assumed cleared), reusing its capacity.
+    fn materialize_into(&self, out: &mut Vec<CandidateScore>) {
+        out.reserve(self.host.len());
+        for i in 0..self.host.len() {
+            out.push(CandidateScore {
+                host: self.host[i],
+                host_name: self.name[i].clone(),
+                location: self.location[i].clone(),
+                factors: SystemFactors {
+                    bandwidth_fraction: self.bw[i],
+                    cpu_idle: self.cpu[i],
+                    io_idle: self.io[i],
+                },
+                score: self.score[i],
+                is_local: self.local[i],
+            });
+        }
+    }
+}
+
+/// Per-client score cache owned by [`DataGrid`], behind a `RefCell` so the
+/// pure query [`DataGrid::score_candidates`] can fill it through `&self`
+/// (same pattern as the engine's phantom-probe scratch).
+#[derive(Debug, Clone, Default)]
+struct ScoreScratch {
+    /// One slot per client host, indexed by [`HostId::index`].
+    entries: Vec<ScoreEntry>,
+    /// Queries answered from a still-valid entry.
+    hits: u64,
+    /// Queries that had to re-derive factors and re-rank.
+    misses: u64,
 }
 
 /// The assembled Data Grid: network, hosts, monitoring, catalog and the
@@ -565,6 +669,12 @@ pub struct DataGrid {
     /// Hot-path phase profiler (counts always; wall-clock timings only
     /// under the `prof-timing` feature of `datagrid-obs`).
     pub(crate) prof: PhaseProfiler,
+    /// Reusable per-client candidate-ranking cache (see [`ScoreScratch`]).
+    score_scratch: RefCell<ScoreScratch>,
+    /// Bumped by every state change that can move a score — sensor
+    /// records, MDS refreshes, catalog/suspect mutations, fault edges,
+    /// policy or mode switches. Entries from older epochs are stale.
+    selection_epoch: u64,
 }
 
 impl std::fmt::Debug for DataGrid {
@@ -595,6 +705,28 @@ impl DataGrid {
     /// `--verify` flag.
     pub fn set_network_validation(&mut self, enabled: bool) {
         self.sim.set_validation(enabled);
+    }
+
+    /// Arms or disarms same-instant cohort batching in the underlying
+    /// simulator (see [`NetSim::set_event_batching`]; default on). The
+    /// per-event path exists for differential testing only.
+    pub fn set_event_batching(&mut self, enabled: bool) {
+        self.sim.set_event_batching(enabled);
+    }
+
+    /// Invalidates every cached candidate ranking by advancing the
+    /// selection epoch. Called whenever monitoring, the catalog, faults or
+    /// the selector itself change anything a score is derived from.
+    pub(crate) fn invalidate_scores(&mut self) {
+        self.selection_epoch += 1;
+    }
+
+    /// `(hits, misses)` of the reusable score scratch — how many
+    /// [`DataGrid::score_candidates`] queries were answered from cache
+    /// versus re-derived.
+    pub fn score_scratch_stats(&self) -> (u64, u64) {
+        let scratch = self.score_scratch.borrow();
+        (scratch.hits, scratch.misses)
     }
 
     /// Resolves a host name.
@@ -632,6 +764,7 @@ impl DataGrid {
 
     /// Mutable access to the replica catalog.
     pub fn catalog_mut(&mut self) -> &mut ReplicaCatalog {
+        self.invalidate_scores();
         &mut self.catalog
     }
 
@@ -653,6 +786,7 @@ impl DataGrid {
 
     /// The replica selection server.
     pub fn selector_mut(&mut self) -> &mut ReplicaSelector {
+        self.invalidate_scores();
         &mut self.selector
     }
 
@@ -665,6 +799,7 @@ impl DataGrid {
     /// the next scoring query; past audit records are untouched.
     pub fn set_selection_mode(&mut self, mode: SelectionMode) {
         self.selection_mode = mode;
+        self.invalidate_scores();
     }
 
     /// Compacts the network engine's reusable scratch buffers back to the
@@ -775,6 +910,12 @@ impl DataGrid {
         m.set_counter("simnet.full_solves", s.full_solves);
         m.set_counter("simnet.solver_flows_touched", s.solver_flows_touched);
         m.set_counter("simnet.auto_shrinks", s.auto_shrinks);
+        m.set_counter("simnet.event_cohorts", s.event_cohorts);
+        m.set_counter("simnet.batched_solves", s.batched_solves);
+        m.set_counter("simnet.solves_avoided", s.solves_avoided);
+        let (hits, misses) = self.score_scratch_stats();
+        m.set_counter("selection.scratch_hits", hits);
+        m.set_counter("selection.scratch_misses", misses);
         let c = self.catalog.stats();
         m.set_counter("catalog.lookups", c.lookups());
         m.set_counter("catalog.hits", c.hits());
@@ -811,6 +952,7 @@ impl DataGrid {
         }
         let pfn = PhysicalFileName::new(host, format!("/storage/{lfn}"))?;
         self.catalog.add_replica(&name, pfn.clone())?;
+        self.invalidate_scores();
         Ok(pfn)
     }
 
@@ -1241,6 +1383,7 @@ impl DataGrid {
         let outcome = self.transfer_between(src_host, dst, req)?;
         let pfn = PhysicalFileName::new(dst_host, format!("/storage/{lfn}"))?;
         self.catalog.add_replica(&name, pfn)?;
+        self.invalidate_scores();
         Ok(outcome)
     }
 
@@ -1257,6 +1400,75 @@ impl DataGrid {
         client: HostId,
         lfn: &str,
     ) -> Result<Vec<CandidateScore>, GridError> {
+        let mut out = Vec::new();
+        self.score_candidates_into(client, lfn, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DataGrid::score_candidates`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a replay loop can reuse one allocation
+    /// across every decision it makes.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataGrid::score_candidates`]; on error `out` is left cleared.
+    pub fn score_candidates_into(
+        &self,
+        client: HostId,
+        lfn: &str,
+        out: &mut Vec<CandidateScore>,
+    ) -> Result<(), GridError> {
+        out.clear();
+        let net_now = self.sim.net_version();
+        {
+            let mut scratch = self.score_scratch.borrow_mut();
+            if scratch.entries.len() < self.hosts.len() {
+                scratch
+                    .entries
+                    .resize_with(self.hosts.len(), ScoreEntry::default);
+            }
+            let entry = &scratch.entries[client.index()];
+            if entry.valid
+                && entry.epoch == self.selection_epoch
+                && entry.lfn == lfn
+                && (!entry.used_residual || entry.net_version == net_now)
+            {
+                entry.materialize_into(out);
+                scratch.hits += 1;
+                return Ok(());
+            }
+        }
+        // Borrow released: the fresh path probes the network through
+        // `&self` and must be free to take its own shared borrows.
+        let used_residual = match self.compute_scores(client, lfn, out) {
+            Ok(flag) => flag,
+            Err(e) => {
+                out.clear();
+                return Err(e);
+            }
+        };
+        let mut scratch = self.score_scratch.borrow_mut();
+        scratch.misses += 1;
+        scratch.entries[client.index()].store(
+            lfn,
+            self.selection_epoch,
+            net_now,
+            used_residual,
+            out,
+        );
+        Ok(())
+    }
+
+    /// The uncached scoring path behind [`DataGrid::score_candidates`]:
+    /// catalog query, factor gathering, policy scoring, ranking. Also
+    /// reports whether any candidate's `BW_P` came from a residual-
+    /// bandwidth probe (which keys the cache on the network version).
+    fn compute_scores(
+        &self,
+        client: HostId,
+        lfn: &str,
+        out: &mut Vec<CandidateScore>,
+    ) -> Result<bool, GridError> {
         let name = LogicalFileName::new(lfn)?;
         let locations = self.catalog.replicas(&name)?;
         if locations.is_empty() {
@@ -1265,12 +1477,14 @@ impl DataGrid {
             });
         }
         let client_node = self.node_of(client);
-        let mut out = Vec::with_capacity(locations.len());
+        out.reserve(locations.len());
+        let mut used_residual = false;
         for pfn in locations.iter().cloned() {
             let host_id = self.host_of_pfn(&pfn)?;
             let node = self.node_of(host_id);
             let is_local = host_id == client;
-            let factors = self.gather_factors(node, client_node, &pfn, is_local);
+            let (factors, residual) = self.gather_factors(node, client_node, &pfn, is_local);
+            used_residual |= residual;
             let mut score = self.selector.score(&factors);
             if self.catalog.is_suspect(&pfn) {
                 score *= SUSPECT_SCORE_FACTOR;
@@ -1284,8 +1498,8 @@ impl DataGrid {
                 is_local,
             });
         }
-        rank_by_score(&mut out);
-        Ok(out)
+        rank_by_score(out);
+        Ok(used_residual)
     }
 
     /// The paper's full Fig. 1 scenario with default transfer options.
@@ -1447,6 +1661,7 @@ impl DataGrid {
                     payload_moved += moved;
                     backoff_total += waited;
                     self.catalog.mark_suspect(&choice.location);
+                    self.invalidate_scores();
                     self.obs.metrics_mut().inc("selection.failovers");
                     self.obs.emit(
                         Event::new(self.sim.now(), "select", "selection.failover")
@@ -1635,39 +1850,42 @@ impl DataGrid {
             })
     }
 
+    /// Gathers one candidate's factors; the second return says whether
+    /// `BW_P` was read from the live residual-bandwidth probe (true) or
+    /// purely from sensor/MDS state (false).
     fn gather_factors(
         &self,
         replica_node: NodeId,
         client_node: NodeId,
         _pfn: &PhysicalFileName,
         is_local: bool,
-    ) -> SystemFactors {
+    ) -> (SystemFactors, bool) {
         let host_id = self.host_at_node[&replica_node];
         let rec = self
             .mds
             .lookup(self.hosts[host_id.index()].name())
             .expect("grid hosts are MDS-registered");
-        let bw = if is_local {
-            1.0
+        let (bw, residual) = if is_local {
+            (1.0, false)
         } else {
             match self.selection_mode {
                 // Contention-aware BW_P: what a new stream would actually
                 // get *right now*, with every in-flight transfer's
                 // allocation already subtracted by the max-min solver.
                 SelectionMode::ContentionAware => {
-                    self.instantaneous_fraction(replica_node, client_node)
+                    (self.instantaneous_fraction(replica_node, client_node), true)
                 }
                 SelectionMode::Static => match self
                     .nws
                     .sensor(replica_node, client_node)
                     .and_then(BandwidthSensor::bandwidth_fraction)
                 {
-                    Some(fraction) => fraction,
-                    None => self.instantaneous_fraction(replica_node, client_node),
+                    Some(fraction) => (fraction, false),
+                    None => (self.instantaneous_fraction(replica_node, client_node), true),
                 },
             }
         };
-        SystemFactors::new(bw, rec.cpu_idle, rec.io_idle)
+        (SystemFactors::new(bw, rec.cpu_idle, rec.io_idle), residual)
     }
 
     /// Fallback `BW_P` when no sensor history exists: the rate a new
@@ -1791,13 +2009,41 @@ impl DataGrid {
         protocol: &'static str,
         outcome: &TransferOutcome,
     ) {
+        let lfn = self.pending_lfn.take();
+        self.record_transfer_for(src, dst, protocol, outcome, lfn.as_deref());
+    }
+
+    /// [`DataGrid::record_transfer`] with the logical file passed
+    /// explicitly, so hot callers (the replay driver) can borrow it from
+    /// their own state instead of cloning into `pending_lfn`.
+    pub(crate) fn record_transfer_for(
+        &mut self,
+        src: &str,
+        dst: &str,
+        protocol: &'static str,
+        outcome: &TransferOutcome,
+        lfn: Option<&str>,
+    ) {
         let id = self.next_span_id;
         self.next_span_id += 1;
-        let lfn = self.pending_lfn.take();
-        let span = span_from_outcome(id, src, dst, protocol, lfn.as_deref(), outcome);
+        // The per-protocol / per-phase metric keys come from tiny closed
+        // sets; interning them keeps this path off the allocator.
+        let protocol_key = match protocol {
+            "gridftp" => "transfer.count.gridftp",
+            "ftp" => "transfer.count.ftp",
+            "local" => "transfer.count.local",
+            other => {
+                self.obs
+                    .metrics_mut()
+                    .inc(&format!("transfer.count.{other}"));
+                ""
+            }
+        };
         let m = self.obs.metrics_mut();
         m.inc("transfer.count");
-        m.inc(&format!("transfer.count.{protocol}"));
+        if !protocol_key.is_empty() {
+            m.inc(protocol_key);
+        }
         m.add("transfer.payload_bytes", outcome.payload_bytes);
         m.add("transfer.wire_bytes", outcome.wire_bytes);
         m.register_histogram("transfer.seconds", TRANSFER_BOUNDS_SECS)
@@ -1805,13 +2051,28 @@ impl DataGrid {
         m.register_histogram("transfer.streams", STREAM_BOUNDS)
             .observe(f64::from(outcome.streams.max(1)));
         for phase in &outcome.phases {
-            m.register_histogram(
-                &format!("transfer.phase_seconds.{}", phase.name),
-                PHASE_BOUNDS_SECS,
-            )
-            .observe((phase.end - phase.start).as_secs_f64());
+            let phase_key = match phase.name {
+                "control" => "transfer.phase_seconds.control",
+                "data" => "transfer.phase_seconds.data",
+                "completion" => "transfer.phase_seconds.completion",
+                other => {
+                    self.obs
+                        .metrics_mut()
+                        .register_histogram(
+                            &format!("transfer.phase_seconds.{other}"),
+                            PHASE_BOUNDS_SECS,
+                        )
+                        .observe((phase.end - phase.start).as_secs_f64());
+                    continue;
+                }
+            };
+            self.obs
+                .metrics_mut()
+                .register_histogram(phase_key, PHASE_BOUNDS_SECS)
+                .observe((phase.end - phase.start).as_secs_f64());
         }
         if self.obs.is_enabled() {
+            let span = span_from_outcome(id, src, dst, protocol, lfn, outcome);
             for event in span.to_events() {
                 self.obs.emit(event);
             }
@@ -1838,6 +2099,7 @@ impl DataGrid {
                 panic!("orphan timer token {other} reached the grid loop")
             }
             EventKind::FaultChanged(notice) => {
+                self.invalidate_scores();
                 if let Some(tl) = self.timeline.as_mut() {
                     tl.record_fault(ev.time);
                 }
@@ -1872,19 +2134,25 @@ impl DataGrid {
                 let measured = done.avg_throughput();
                 if let Some(sensor) = self.nws.sensor_mut(src, dst) {
                     sensor.record(ev.time, measured);
+                    self.invalidate_scores();
                 }
                 self.obs.metrics_mut().inc("nws.probes_completed");
-                self.obs.emit(
-                    Event::new(ev.time, "nws", "probe.complete")
-                        .with("src", src.index())
-                        .with("dst", dst.index())
-                        .with("mbps", measured.as_mbps()),
-                );
+                if self.obs.is_enabled() {
+                    self.obs.emit(
+                        Event::new(ev.time, "nws", "probe.complete")
+                            .with("src", src.index())
+                            .with("dst", dst.index())
+                            .with("mbps", measured.as_mbps()),
+                    );
+                }
             }
         }
     }
 
     fn on_monitor_tick(&mut self) {
+        // Hosts advance and the MDS refreshes below: every cached CPU_P /
+        // IO_P reading is about to go stale.
+        self.invalidate_scores();
         self.trace.sample(&self.sim);
         self.sample_timeline();
         let now = self.sim.now();
@@ -1941,12 +2209,14 @@ impl DataGrid {
         );
         self.pending_probes.insert(id, (src, dst));
         self.obs.metrics_mut().inc("nws.probes_started");
-        self.obs.emit(
-            Event::new(self.sim.now(), "nws", "probe.start")
-                .with("src", src.index())
-                .with("dst", dst.index())
-                .with("bytes", self.probe_bytes),
-        );
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Event::new(self.sim.now(), "nws", "probe.start")
+                    .with("src", src.index())
+                    .with("dst", dst.index())
+                    .with("bytes", self.probe_bytes),
+            );
+        }
     }
 }
 
@@ -2559,5 +2829,118 @@ mod trace_tests {
         );
         // Probes occasionally light the link up.
         assert!(trace.peak().unwrap() >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod scratch_tests {
+    use super::tests::{small_grid, with_file};
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn score_scratch_hit_returns_identical_ranking() {
+        let mut grid = with_file(small_grid(11));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let fresh = grid.score_candidates(client, "file-a").unwrap();
+        let (h0, m0) = grid.score_scratch_stats();
+        let cached = grid.score_candidates(client, "file-a").unwrap();
+        let (h1, m1) = grid.score_scratch_stats();
+        assert_eq!(h1, h0 + 1, "second identical query must hit");
+        assert_eq!(m1, m0, "second identical query must not recompute");
+        assert_eq!(fresh, cached, "cache must reproduce the ranking exactly");
+    }
+
+    #[test]
+    fn score_scratch_is_per_client_and_per_lfn() {
+        let mut grid = with_file(small_grid(12));
+        grid.catalog_mut()
+            .register_logical("file-b".parse().unwrap(), MB)
+            .unwrap();
+        grid.place_replica("file-b", "fast").unwrap();
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let fast = grid.host_id("fast").unwrap();
+        grid.score_candidates(client, "file-a").unwrap();
+        let (_, m0) = grid.score_scratch_stats();
+        // Different client: its slot is cold.
+        grid.score_candidates(fast, "file-a").unwrap();
+        // Different file on a warm client slot: entry answers for one lfn.
+        grid.score_candidates(client, "file-b").unwrap();
+        let (h1, m1) = grid.score_scratch_stats();
+        assert_eq!(m1, m0 + 2, "new client and new lfn both recompute");
+        assert_eq!(h1, 0);
+    }
+
+    #[test]
+    fn monitor_tick_invalidates_scores() {
+        let mut grid = with_file(small_grid(13));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        grid.score_candidates(client, "file-a").unwrap();
+        let (_, m0) = grid.score_scratch_stats();
+        // Crossing a monitor tick refreshes MDS readings: recompute.
+        grid.warm_up(SimDuration::from_secs(15));
+        grid.score_candidates(client, "file-a").unwrap();
+        let (_, m1) = grid.score_scratch_stats();
+        assert_eq!(m1, m0 + 1, "post-tick query must recompute");
+    }
+
+    #[test]
+    fn catalog_and_suspect_mutations_invalidate_scores() {
+        let mut grid = with_file(small_grid(14));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let before = grid.score_candidates(client, "file-a").unwrap();
+        let fast_loc = before
+            .iter()
+            .find(|c| c.host_name == "fast")
+            .unwrap()
+            .location
+            .clone();
+        grid.catalog_mut().mark_suspect(&fast_loc);
+        let (_, m0) = grid.score_scratch_stats();
+        let after = grid.score_candidates(client, "file-a").unwrap();
+        let (_, m1) = grid.score_scratch_stats();
+        assert_eq!(m1, m0 + 1, "suspect mark must force a recompute");
+        let fast_after = after.iter().find(|c| c.host_name == "fast").unwrap();
+        let fast_before = before.iter().find(|c| c.host_name == "fast").unwrap();
+        assert!(
+            fast_after.score < fast_before.score,
+            "suspect penalty must show up in the recomputed ranking"
+        );
+        // Placing a replica (catalog mutation) also invalidates.
+        grid.catalog_mut()
+            .register_logical("file-c".parse().unwrap(), MB)
+            .unwrap();
+        grid.place_replica("file-c", "slow").unwrap();
+        grid.score_candidates(client, "file-a").unwrap();
+        let (_, m2) = grid.score_scratch_stats();
+        assert_eq!(m2, m1 + 1, "catalog growth must force a recompute");
+    }
+
+    #[test]
+    fn contention_aware_scratch_keys_on_network_version() {
+        let mut grid = with_file(small_grid(15));
+        grid.set_selection_mode(SelectionMode::ContentionAware);
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        grid.score_candidates(client, "file-a").unwrap();
+        let (h0, m0) = grid.score_scratch_stats();
+        // No network change between queries: residual reads still hold.
+        grid.score_candidates(client, "file-a").unwrap();
+        let (h1, _) = grid.score_scratch_stats();
+        assert_eq!(h1, h0 + 1);
+        // A background flow changes residual bandwidth: entry goes stale
+        // even though no epoch-advancing event fired.
+        let fast_node = grid.node_of(grid.host_id("fast").unwrap());
+        let client_node = grid.node_of(client);
+        grid.sim
+            .start_flow(FlowSpec::new(fast_node, client_node, 64 * MB));
+        grid.score_candidates(client, "file-a").unwrap();
+        let (_, m1) = grid.score_scratch_stats();
+        assert_eq!(m1, m0 + 1, "residual entries must recompute on flow start");
     }
 }

@@ -31,11 +31,11 @@ use datagrid_gridftp::executor::{SessionStatus, TransferSession};
 use datagrid_gridftp::instrument::protocol_label;
 use datagrid_gridftp::transfer::{PhaseRecord, TransferOutcome, TransferRequest};
 use datagrid_obs::{Event, PhaseProfiler};
-use datagrid_simnet::engine::EventKind;
+use datagrid_simnet::engine::{EventKind, FlowId};
 use datagrid_simnet::time::{SimDuration, SimTime};
 use datagrid_sysmon::host::HostId;
 
-use super::{DataGrid, FetchOptions, TOK_MONITOR};
+use super::{DataGrid, FetchOptions, SESSION_TOKEN_BASE, TOK_MONITOR};
 use crate::error::GridError;
 use crate::factors::CandidateScore;
 use crate::recovery::RecoveryOptions;
@@ -177,6 +177,12 @@ struct JobState {
     /// The replica currently being fetched.
     choice: Option<CandidateScore>,
     phase: Phase,
+    /// Token block of the live GridFTP session, if any (key into
+    /// [`Driver::session_blocks`]).
+    session_block: Option<u64>,
+    /// Data flows the live session has started, mirrored into
+    /// [`Driver::flow_owner`]; the buffer is reused across attempts.
+    owned_flows: Vec<FlowId>,
 }
 
 /// The replay event loop: grid + per-job state machines. `grid` and the
@@ -190,6 +196,14 @@ struct Driver<'a> {
     /// Control-timer token -> job index (arrival, decision, backoff and
     /// local-read timers; removed when fired).
     timers: HashMap<u64, usize>,
+    /// Session token block -> job index, for O(1) routing of session
+    /// timers (control/ramp/completion/watchdog) without scanning jobs.
+    session_blocks: HashMap<u64, usize>,
+    /// Data-flow id -> job index, for O(1) routing of flow completions.
+    /// Never iterated (HashMap order must stay unobservable).
+    flow_owner: HashMap<FlowId, usize>,
+    /// Reusable ranked-candidate buffer for [`Driver::decide`].
+    cand_buf: Vec<CandidateScore>,
     outcomes: Vec<Option<ReplayOutcome>>,
     remaining: usize,
     /// The grid's phase profiler, held here for the duration of the run
@@ -239,6 +253,9 @@ impl DataGrid {
             recovery,
             states: Vec::with_capacity(jobs.len()),
             timers: HashMap::new(),
+            session_blocks: HashMap::new(),
+            flow_owner: HashMap::new(),
+            cand_buf: Vec::new(),
             outcomes: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
             remaining: jobs.len(),
             prof,
@@ -262,6 +279,8 @@ impl DataGrid {
                 audit_seq: None,
                 choice: None,
                 phase: Phase::Arrival,
+                session_block: None,
+                owned_flows: Vec::new(),
             });
         }
         let run_result = driver.run();
@@ -316,22 +335,49 @@ impl Driver<'_> {
                         .saturating_sub(before.solver_flows_touched),
                 );
             }
+            // Cohort batching: count batched solve passes and the per-event
+            // solves they replaced, so the profile shows the batching win.
+            let avoided = after.solves_avoided.saturating_sub(before.solves_avoided);
+            if avoided > 0 {
+                self.prof.record_external(
+                    &["settle", "batch"],
+                    after.batched_solves.saturating_sub(before.batched_solves),
+                    avoided,
+                );
+            }
             // 1. Control timers (arrival, decision latency, backoff,
             //    local read) — exact token match.
             if let EventKind::TimerFired(tok) = &ev.kind {
-                if let Some(idx) = self.timers.remove(tok) {
-                    self.on_control(idx)?;
-                    continue;
+                if *tok >= SESSION_TOKEN_BASE {
+                    if let Some(idx) = self.timers.remove(tok) {
+                        self.on_control(idx)?;
+                        continue;
+                    }
+                    // 2a. Session timers (control/ramp/completion/
+                    //     watchdog): the token block identifies the owner
+                    //     directly. A block with no live session — or one
+                    //     whose session disowns the token — is a stale
+                    //     watchdog from a finished attempt.
+                    let block = (*tok - SESSION_TOKEN_BASE) / TransferSession::TOKENS_PER_SESSION;
+                    if let Some(&idx) = self.session_blocks.get(&block) {
+                        let owned = matches!(
+                            &self.states[idx].phase,
+                            Phase::Transferring(session) if session.owns(&ev)
+                        );
+                        if owned {
+                            self.on_session_event(idx, &ev)?;
+                            continue;
+                        }
+                    }
                 }
             }
-            // 2. Session-owned events (data flows, watchdogs), scanned in
-            //    job order for determinism.
-            let owner = self.states.iter().position(
-                |st| matches!(&st.phase, Phase::Transferring(session) if session.owns(&ev)),
-            );
-            if let Some(idx) = owner {
-                self.on_session_event(idx, &ev)?;
-                continue;
+            // 2b. Data-flow completions: the flow index identifies the
+            //     owner; unowned completions are NWS probes.
+            if let EventKind::FlowCompleted(done) = &ev.kind {
+                if let Some(&idx) = self.flow_owner.get(&done.id) {
+                    self.on_session_event(idx, &ev)?;
+                    continue;
+                }
             }
             // 3. Grid plumbing: monitoring, probes, faults, stale timers.
             let monitor_tick = matches!(ev.kind, EventKind::TimerFired(TOK_MONITOR));
@@ -359,6 +405,34 @@ impl Driver<'_> {
         self.timers.insert(token, idx);
     }
 
+    /// Mirrors the flows the job's live session has started into
+    /// [`Driver::flow_owner`]. Called after every session call that can
+    /// start flows; the per-job `owned_flows` list keeps the mirror exact
+    /// without ever iterating the map.
+    fn sync_session_flows(&mut self, idx: usize) {
+        let st = &mut self.states[idx];
+        if let Phase::Transferring(session) = &st.phase {
+            for id in session.active_flow_ids() {
+                if !st.owned_flows.contains(&id) {
+                    st.owned_flows.push(id);
+                    self.flow_owner.insert(id, idx);
+                }
+            }
+        }
+    }
+
+    /// Unregisters a finished attempt's session block and flow mirror
+    /// (buffer capacity is kept for the next attempt).
+    fn release_session(&mut self, idx: usize) {
+        let st = &mut self.states[idx];
+        if let Some(block) = st.session_block.take() {
+            self.session_blocks.remove(&block);
+        }
+        for id in st.owned_flows.drain(..) {
+            self.flow_owner.remove(&id);
+        }
+    }
+
     fn on_control(&mut self, idx: usize) -> Result<(), GridError> {
         match std::mem::replace(&mut self.states[idx].phase, Phase::Done) {
             Phase::Arrival => {
@@ -372,23 +446,23 @@ impl Driver<'_> {
             Phase::Backoff { pause } => {
                 {
                     let _retry = self.prof.span("retry");
-                    let st = &self.states[idx];
-                    let choice = st.choice.as_ref().expect("backoff implies a choice");
-                    let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
-                    let (attempt, committed) = (st.episode_attempts + 1, st.committed);
                     let now = self.grid.sim.now();
                     if let Some(tl) = self.grid.timeline.as_mut() {
                         tl.record_retry(now);
                     }
                     self.grid.obs.metrics_mut().inc("transfer.retries");
-                    self.grid.obs.emit(
-                        Event::new(now, "gridftp", "transfer.retry")
-                            .with("src", src_name.as_str())
-                            .with("dst", dst_name.as_str())
-                            .with("attempt", attempt)
-                            .with("backoff_secs", pause.as_secs_f64())
-                            .with("resume_offset", committed),
-                    );
+                    if self.grid.obs.is_enabled() {
+                        let st = &self.states[idx];
+                        let choice = st.choice.as_ref().expect("backoff implies a choice");
+                        self.grid.obs.emit(
+                            Event::new(now, "gridftp", "transfer.retry")
+                                .with("src", choice.host_name.as_str())
+                                .with("dst", st.client_name.as_str())
+                                .with("attempt", st.episode_attempts + 1)
+                                .with("backoff_secs", pause.as_secs_f64())
+                                .with("resume_offset", st.committed),
+                        );
+                    }
                 }
                 self.start_attempt(idx)
             }
@@ -397,7 +471,6 @@ impl Driver<'_> {
                 let st = &mut self.states[idx];
                 st.attempts += 1;
                 let bytes = st.total_bytes;
-                let name = st.client_name.clone();
                 let outcome = TransferOutcome {
                     payload_bytes: bytes,
                     wire_bytes: 0,
@@ -411,8 +484,16 @@ impl Driver<'_> {
                         end: now,
                     }],
                 };
-                self.grid.pending_lfn = Some(self.states[idx].lfn.clone());
-                self.grid.record_transfer(&name, &name, "local", &outcome);
+                {
+                    let st = &self.states[idx];
+                    self.grid.record_transfer_for(
+                        &st.client_name,
+                        &st.client_name,
+                        "local",
+                        &outcome,
+                        Some(&st.lfn),
+                    );
+                }
                 self.finish_transfer(idx, &outcome, true);
                 Ok(())
             }
@@ -428,12 +509,16 @@ impl Driver<'_> {
     fn decide(&mut self, idx: usize) -> Result<(), GridError> {
         let guard = self.prof.span("decide");
         let client = self.states[idx].client;
-        let lfn = self.states[idx].lfn.clone();
-        let candidates = self.grid.score_candidates(client, &lfn)?;
-        self.prof.add_items(candidates.len() as u64);
+        // The ranking lands in the driver's reusable buffer; the chosen
+        // candidate is moved out of it below, so a decision allocates no
+        // candidate list of its own.
+        self.grid
+            .score_candidates_into(client, &self.states[idx].lfn, &mut self.cand_buf)?;
+        self.prof.add_items(self.cand_buf.len() as u64);
         let failover = !self.states[idx].failed_over.is_empty();
         let chosen = if failover {
-            let next = candidates
+            let next = self
+                .cand_buf
                 .iter()
                 .position(|c| !self.states[idx].failed_over.contains(&c.host_name));
             match next {
@@ -445,25 +530,26 @@ impl Driver<'_> {
                 }
             }
         } else {
-            self.grid.selector.choose(&candidates)
+            self.grid.selector.choose(&self.cand_buf)
         };
         let decision_latency = self.grid.sim.now() - self.states[idx].decision_started;
         let seq = self.grid.obs.audit().next_seq();
         self.grid.record_selection(
-            &lfn,
+            &self.states[idx].lfn,
             client,
-            &candidates,
+            &self.cand_buf,
             chosen,
             decision_latency,
             failover.then_some("failover"),
         );
+        let choice = self.cand_buf.swap_remove(chosen);
         let st = &mut self.states[idx];
         st.audit_seq = Some(seq);
-        st.choice = Some(candidates[chosen].clone());
+        st.choice = Some(choice);
         st.committed = 0;
         st.episode_attempts = 0;
         if !failover {
-            let name = LogicalFileName::new(&lfn)?;
+            let name = LogicalFileName::new(&st.lfn)?;
             st.total_bytes = self
                 .grid
                 .catalog
@@ -481,13 +567,19 @@ impl Driver<'_> {
     /// otherwise, resuming from the committed offset on retries.
     fn start_attempt(&mut self, idx: usize) -> Result<(), GridError> {
         let guard = self.prof.span("dispatch");
-        let st = &self.states[idx];
-        let choice = st.choice.clone().expect("attempts follow a decision");
-        let client = st.client;
-        if choice.is_local {
-            self.prof.add_items(st.total_bytes);
+        let (is_local, choice_host) = {
+            let choice = self.states[idx]
+                .choice
+                .as_ref()
+                .expect("attempts follow a decision");
+            (choice.is_local, choice.host)
+        };
+        let client = self.states[idx].client;
+        let total = self.states[idx].total_bytes;
+        if is_local {
+            self.prof.add_items(total);
             let rate = self.grid.hosts[client.index()].available_disk_read();
-            let pause = rate.time_for_bytes(st.total_bytes);
+            let pause = rate.time_for_bytes(total);
             self.states[idx].phase = Phase::LocalRead {
                 started: self.grid.sim.now(),
             };
@@ -495,8 +587,7 @@ impl Driver<'_> {
             self.schedule_control(idx, pause);
             return Ok(());
         }
-        let total = st.total_bytes;
-        let committed = st.committed;
+        let committed = self.states[idx].committed;
         let req = TransferRequest::new(total)
             .with_protocol(self.options.protocol)
             .with_parallelism(self.options.parallelism)
@@ -506,15 +597,15 @@ impl Driver<'_> {
         } else {
             req.with_range(committed, total - committed)
         };
-        let cache_key = (self.grid.node_of(client), self.grid.node_of(choice.host));
+        let cache_key = (self.grid.node_of(client), self.grid.node_of(choice_host));
         let cached = self.grid.control_cached(cache_key);
         let tcp = self
             .grid
-            .tcp_for(self.grid.node_of(choice.host), self.grid.node_of(client));
+            .tcp_for(self.grid.node_of(choice_host), self.grid.node_of(client));
         let base = self.grid.alloc_session_tokens();
         let mut session = TransferSession::new(
             attempt_req,
-            self.grid.endpoint_for(choice.host),
+            self.grid.endpoint_for(choice_host),
             self.grid.endpoint_for(client),
             tcp,
             base,
@@ -528,6 +619,10 @@ impl Driver<'_> {
         st.attempts += 1;
         session.start(&mut self.grid.sim);
         st.phase = Phase::Transferring(Box::new(session));
+        st.owned_flows.clear();
+        let block = (base - SESSION_TOKEN_BASE) / TransferSession::TOKENS_PER_SESSION;
+        st.session_block = Some(block);
+        self.session_blocks.insert(block, idx);
         drop(guard);
         Ok(())
     }
@@ -544,39 +639,58 @@ impl Driver<'_> {
             session.handle(&mut self.grid.sim, ev)
         };
         match status {
-            SessionStatus::InProgress => Ok(()),
+            SessionStatus::InProgress => {
+                // Ramp-up may have just started the data flows; mirror
+                // them into the dispatch index.
+                self.sync_session_flows(idx);
+                Ok(())
+            }
             SessionStatus::Complete(outcome) => {
+                self.release_session(idx);
                 let st = &mut self.states[idx];
-                let choice = st.choice.as_ref().expect("transferring jobs have a choice");
-                let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
-                let cache_key = (self.grid.node_of(st.client), self.grid.node_of(choice.host));
                 st.payload_moved += outcome.payload_bytes;
+                let cache_key = {
+                    let st = &self.states[idx];
+                    let choice = st.choice.as_ref().expect("transferring jobs have a choice");
+                    (self.grid.node_of(st.client), self.grid.node_of(choice.host))
+                };
                 self.grid.remember_control(cache_key);
-                self.grid.pending_lfn = Some(self.states[idx].lfn.clone());
                 let protocol = protocol_label(self.options.protocol);
-                self.grid
-                    .record_transfer(&src_name, &dst_name, protocol, &outcome);
+                {
+                    let st = &self.states[idx];
+                    let choice = st.choice.as_ref().expect("transferring jobs have a choice");
+                    self.grid.record_transfer_for(
+                        &choice.host_name,
+                        &st.client_name,
+                        protocol,
+                        &outcome,
+                        Some(&st.lfn),
+                    );
+                }
                 self.finish_transfer(idx, &outcome, false);
                 Ok(())
             }
             SessionStatus::Failed(failure) => {
+                self.release_session(idx);
                 let st = &mut self.states[idx];
-                let choice = st.choice.as_ref().expect("transferring jobs have a choice");
-                let (src_name, dst_name) = (choice.host_name.clone(), st.client_name.clone());
                 st.committed += failure.restart_offset();
                 st.payload_moved += failure.delivered_payload;
                 st.phase = Phase::Done; // placeholder until rescheduled below
                 let (attempts, committed) = (st.episode_attempts, st.committed);
                 self.grid.obs.metrics_mut().inc("transfer.stalls");
-                self.grid.obs.emit(
-                    Event::new(failure.at, "gridftp", "transfer.stall")
-                        .with("src", src_name.as_str())
-                        .with("dst", dst_name.as_str())
-                        .with("attempt", attempts)
-                        .with("delivered", failure.delivered_payload)
-                        .with("committed", committed)
-                        .with("resumable", failure.resumable),
-                );
+                if self.grid.obs.is_enabled() {
+                    let st = &self.states[idx];
+                    let choice = st.choice.as_ref().expect("stalled jobs have a choice");
+                    self.grid.obs.emit(
+                        Event::new(failure.at, "gridftp", "transfer.stall")
+                            .with("src", choice.host_name.as_str())
+                            .with("dst", st.client_name.as_str())
+                            .with("attempt", attempts)
+                            .with("delivered", failure.delivered_payload)
+                            .with("committed", committed)
+                            .with("resumable", failure.resumable),
+                    );
+                }
                 if self.recovery.retry.exhausted(attempts) {
                     self.abandon_replica(idx)
                 } else {
@@ -604,22 +718,27 @@ impl Driver<'_> {
             tl.record_failover(now);
         }
         self.grid.obs.metrics_mut().inc("transfer.abandoned");
-        self.grid.obs.emit(
-            Event::new(now, "gridftp", "transfer.abandoned")
-                .with("src", choice.host_name.as_str())
-                .with("dst", st.client_name.as_str())
-                .with("attempts", st.episode_attempts)
-                .with("delivered", st.committed),
-        );
+        if self.grid.obs.is_enabled() {
+            self.grid.obs.emit(
+                Event::new(now, "gridftp", "transfer.abandoned")
+                    .with("src", choice.host_name.as_str())
+                    .with("dst", st.client_name.as_str())
+                    .with("attempts", st.episode_attempts)
+                    .with("delivered", st.committed),
+            );
+        }
         self.grid.catalog.mark_suspect(&choice.location);
+        self.grid.invalidate_scores();
         self.grid.obs.metrics_mut().inc("selection.failovers");
-        self.grid.obs.emit(
-            Event::new(now, "select", "selection.failover")
-                .with("lfn", st.lfn.as_str())
-                .with("abandoned", choice.host_name.as_str())
-                .with("attempts", st.episode_attempts)
-                .with("delivered", st.committed),
-        );
+        if self.grid.obs.is_enabled() {
+            self.grid.obs.emit(
+                Event::new(now, "select", "selection.failover")
+                    .with("lfn", st.lfn.as_str())
+                    .with("abandoned", choice.host_name.as_str())
+                    .with("attempts", st.episode_attempts)
+                    .with("delivered", st.committed),
+            );
+        }
         st.failed_over.push(choice.host_name);
         if st.failed_over.len() as u64 > u64::from(self.recovery.max_failovers) {
             drop(guard);
@@ -658,14 +777,16 @@ impl Driver<'_> {
             tl.record_completion(now, true);
         }
         self.grid.obs.metrics_mut().inc("replay.completed");
-        self.grid.obs.emit(
-            Event::new(now, "replay", "replay.job.done")
-                .with("client", st.client_name.as_str())
-                .with("lfn", st.lfn.as_str())
-                .with("winner", winner.as_str())
-                .with("bytes", delivered)
-                .with("secs", latency_secs),
-        );
+        if self.grid.obs.is_enabled() {
+            self.grid.obs.emit(
+                Event::new(now, "replay", "replay.job.done")
+                    .with("client", st.client_name.as_str())
+                    .with("lfn", st.lfn.as_str())
+                    .with("winner", winner.as_str())
+                    .with("bytes", delivered)
+                    .with("secs", latency_secs),
+            );
+        }
         self.outcomes[idx] = Some(ReplayOutcome {
             client: st.client_name.clone(),
             lfn: st.lfn.clone(),
@@ -692,12 +813,14 @@ impl Driver<'_> {
             tl.record_completion(self.grid.sim.now(), false);
         }
         self.grid.obs.metrics_mut().inc("replay.failed");
-        self.grid.obs.emit(
-            Event::new(self.grid.sim.now(), "replay", "replay.job.failed")
-                .with("client", st.client_name.as_str())
-                .with("lfn", st.lfn.as_str())
-                .with("failed_over", st.failed_over.len()),
-        );
+        if self.grid.obs.is_enabled() {
+            self.grid.obs.emit(
+                Event::new(self.grid.sim.now(), "replay", "replay.job.failed")
+                    .with("client", st.client_name.as_str())
+                    .with("lfn", st.lfn.as_str())
+                    .with("failed_over", st.failed_over.len()),
+            );
+        }
         self.outcomes[idx] = Some(ReplayOutcome {
             client: st.client_name.clone(),
             lfn: st.lfn.clone(),

@@ -1,0 +1,142 @@
+//! Allocation discipline of the concurrent replay loop.
+//!
+//! A counting global allocator measures two identical
+//! [`DataGrid::replay_concurrent`] runs on the same grid. The first run
+//! sizes every reusable structure (dispatch maps, candidate buffer, score
+//! scratch, engine slab); the second must (a) allocate strictly less —
+//! proof the buffers are actually reused — and (b) allocate at a rate
+//! bounded by *jobs*, not *events*: with recording disabled, steady-state
+//! event dispatch (flow progress, session timers, probe bookkeeping) is
+//! allocation-free, so total allocations stay a small multiple of the job
+//! count no matter how many events the replay pumps.
+//!
+//! The allocator lives here (an integration test is its own crate root)
+//! because every library crate carries `#![forbid(unsafe_code)]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use datagrid_core::grid::{FetchOptions, GridBuilder};
+use datagrid_core::recovery::RecoveryOptions;
+use datagrid_core::ReplayJob;
+use datagrid_simnet::prelude::*;
+use datagrid_sysmon::host::HostSpec;
+use datagrid_sysmon::load::LoadModel;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn replay_allocations_scale_with_jobs_not_events() {
+    let mut b = GridBuilder::new(41);
+    let client = b.add_host(
+        HostSpec::new("client").with_cpu(2, 2.0),
+        LoadModel::Constant(0.1),
+        LoadModel::Constant(0.1),
+    );
+    let fast = b.add_host(
+        HostSpec::new("fast").with_cpu(1, 2.8),
+        LoadModel::Constant(0.2),
+        LoadModel::Constant(0.1),
+    );
+    let slow = b.add_host(
+        HostSpec::new("slow").with_cpu(1, 0.9),
+        LoadModel::Constant(0.4),
+        LoadModel::Constant(0.3),
+    );
+    let sw = b.add_switch("switch");
+    let ms = SimDuration::from_millis;
+    b.topology_mut()
+        .add_duplex_link(client, sw, LinkSpec::new(Bandwidth::from_gbps(1.0), ms(1)));
+    b.topology_mut()
+        .add_duplex_link(fast, sw, LinkSpec::new(Bandwidth::from_mbps(100.0), ms(4)));
+    b.topology_mut()
+        .add_duplex_link(slow, sw, LinkSpec::new(Bandwidth::from_mbps(50.0), ms(10)));
+    b.monitor_all_host_pairs();
+    let mut grid = b.build();
+    // Steady-state claim: no event history, no audit, no timeline.
+    grid.recorder_mut().set_enabled(false);
+    grid.set_network_validation(false);
+    grid.catalog_mut()
+        .register_logical("file-a".parse().unwrap(), 24 << 20)
+        .unwrap();
+    grid.place_replica("file-a", "fast").unwrap();
+    grid.place_replica("file-a", "slow").unwrap();
+    grid.warm_up(SimDuration::from_secs(120));
+
+    let client_id = grid.host_id("client").unwrap();
+    let jobs: Vec<ReplayJob> = (0..24)
+        .map(|i| ReplayJob {
+            at: grid.now() + SimDuration::from_millis(200 * i),
+            client: client_id,
+            lfn: "file-a".to_string(),
+        })
+        .collect();
+
+    // Warm-up run: sizes the dispatch maps, candidate buffer and slab.
+    let e0 = grid.network().stats().events_processed;
+    let a0 = allocs();
+    let report = grid
+        .replay_concurrent(&jobs, FetchOptions::default(), &RecoveryOptions::default())
+        .unwrap();
+    assert_eq!(report.completed(), jobs.len());
+    let warm_allocs = allocs() - a0;
+    let warm_events = grid.network().stats().events_processed - e0;
+
+    // Measured run: identical workload on the warmed grid.
+    let e1 = grid.network().stats().events_processed;
+    let a1 = allocs();
+    let report = grid
+        .replay_concurrent(&jobs, FetchOptions::default(), &RecoveryOptions::default())
+        .unwrap();
+    assert_eq!(report.completed(), jobs.len());
+    let steady_allocs = allocs() - a1;
+    let steady_events = grid.network().stats().events_processed - e1;
+
+    assert!(
+        steady_allocs < warm_allocs,
+        "second replay must reuse warmed buffers: {steady_allocs} vs {warm_allocs}"
+    );
+    assert!(
+        steady_events > 10 * jobs.len() as u64,
+        "workload too small to distinguish per-event from per-job costs \
+         ({steady_events} events, {warm_events} in warm-up)"
+    );
+    // Irreducible per-job work (outcome records, session boxes, ranked
+    // candidate materialisation, control-timer bookkeeping) is bounded by
+    // a constant per job; everything per-event is allocation-free. The
+    // factor is deliberately generous — the regression this guards against
+    // (an allocation on the event path) multiplies allocations by the
+    // event count, blowing straight through it.
+    let budget = 64 * jobs.len() as u64;
+    assert!(
+        steady_allocs <= budget,
+        "steady replay allocated {steady_allocs} times for {} jobs / {steady_events} events \
+         (budget {budget}); something is allocating per event",
+        jobs.len()
+    );
+}

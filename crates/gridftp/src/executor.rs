@@ -369,6 +369,12 @@ impl TransferSession {
         sim.schedule_timer_after(control, self.token_base + Self::TOK_CONTROL);
     }
 
+    /// Ids of the data flows currently in flight, in unspecified order
+    /// (drivers that index them must not let the order become observable).
+    pub fn active_flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.active_flows.keys().copied()
+    }
+
     /// `true` if this event belongs to this session.
     pub fn owns(&self, event: &SimEvent) -> bool {
         match &event.kind {

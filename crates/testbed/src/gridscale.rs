@@ -55,6 +55,11 @@ pub struct GridScaleConfig {
     /// warm-up, so the replay's link utilization / latency / decision
     /// history is recorded per window (`None` = no timeline).
     pub timeline: Option<SimDuration>,
+    /// Batch same-instant event cohorts into one solver settle (the
+    /// engine default). `false` forces the per-event solve path — the
+    /// differential-testing half of the batching-equivalence property:
+    /// every public number must be identical either way.
+    pub batching: bool,
 }
 
 impl Default for GridScaleConfig {
@@ -70,6 +75,7 @@ impl Default for GridScaleConfig {
             parallelism: 0,
             verify: false,
             timeline: None,
+            batching: true,
         }
     }
 }
@@ -105,6 +111,12 @@ pub struct GridScaleCell {
     pub full_solves: u64,
     /// Total flows handed to the solver across all solves.
     pub solver_flows_touched: u64,
+    /// Same-instant event cohorts the engine processed.
+    pub event_cohorts: u64,
+    /// Cohorts whose deferred rate changes settled in one solve.
+    pub batched_solves: u64,
+    /// Solver passes the cohort batching eliminated.
+    pub solves_avoided: u64,
     /// Scratch element capacity left by the burst, before compaction.
     pub scratch_high_water: usize,
     /// Scratch element capacity after [`DataGrid::shrink_network_scratch`].
@@ -171,6 +183,9 @@ impl GridScaleReport {
                 "      \"solver_flows_touched\": {},",
                 c.solver_flows_touched
             );
+            let _ = writeln!(out, "      \"event_cohorts\": {},", c.event_cohorts);
+            let _ = writeln!(out, "      \"batched_solves\": {},", c.batched_solves);
+            let _ = writeln!(out, "      \"solves_avoided\": {},", c.solves_avoided);
             let _ = writeln!(
                 out,
                 "      \"scratch_high_water\": {},",
@@ -222,6 +237,7 @@ pub fn build_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> (DataGrid
     if cfg.verify {
         grid.set_network_validation(true);
     }
+    grid.set_event_batching(cfg.batching);
     let hosts = all_paper_hosts();
     let spec = GridWorkloadSpec {
         clients,
@@ -291,6 +307,9 @@ pub fn run_grid_scale_cell(seed: u64, clients: usize, cfg: &GridScaleConfig) -> 
         incremental_solves: stats.incremental_solves,
         full_solves: stats.full_solves,
         solver_flows_touched: stats.solver_flows_touched,
+        event_cohorts: stats.event_cohorts,
+        batched_solves: stats.batched_solves,
+        solves_avoided: stats.solves_avoided,
         scratch_high_water,
         scratch_after_shrink,
     };

@@ -85,6 +85,22 @@ pub struct ProfileCell {
     pub settles: u64,
     /// Settles per simulated second of makespan.
     pub settles_per_sec: f64,
+    /// Solver passes the engine ran (incremental + full).
+    pub solves: u64,
+    /// Solver passes per selection decision — the hot-path headline: how
+    /// much solver work one client arrival costs. Cohort batching and the
+    /// score scratch both push this down.
+    pub solves_per_decision: f64,
+    /// Same-instant event cohorts the engine processed.
+    pub event_cohorts: u64,
+    /// Cohorts whose deferred rate changes settled in one solve.
+    pub batched_solves: u64,
+    /// Solver passes the cohort batching eliminated.
+    pub solves_avoided: u64,
+    /// Candidate rankings served from the reusable score scratch.
+    pub scratch_hits: u64,
+    /// Candidate rankings that had to be recomputed.
+    pub scratch_misses: u64,
     /// Health-timeline windows the replay spanned.
     pub windows: usize,
     /// Per-phase breakdown, depth-first.
@@ -114,6 +130,11 @@ pub struct ProfileReport {
     pub seed: u64,
     /// Timeline window width in seconds.
     pub window_secs: f64,
+    /// Heap allocations observed while draining a warmed engine event
+    /// loop, when the emitting binary probed it (`None` = not probed).
+    /// The perf-budget gate pins this to zero: steady-state event
+    /// dispatch must never touch the heap.
+    pub steady_dispatch_allocs: Option<u64>,
     /// One entry per sweep cell, in input order.
     pub cells: Vec<ProfileCell>,
 }
@@ -124,6 +145,7 @@ impl ProfileReport {
         ProfileReport {
             seed,
             window_secs: cfg.window.as_secs_f64(),
+            steady_dispatch_allocs: None,
             cells: runs.iter().map(|r| r.cell.clone()).collect(),
         }
     }
@@ -138,6 +160,9 @@ impl ProfileReport {
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"window_secs\": {:.6},", self.window_secs);
         let _ = writeln!(out, "  \"timing\": {},", TIMING_ENABLED);
+        if let Some(allocs) = self.steady_dispatch_allocs {
+            let _ = writeln!(out, "  \"steady_dispatch_allocs\": {allocs},");
+        }
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str("    {\n");
@@ -154,6 +179,17 @@ impl ProfileReport {
             );
             let _ = writeln!(out, "      \"settles\": {},", c.settles);
             let _ = writeln!(out, "      \"settles_per_sec\": {:.6},", c.settles_per_sec);
+            let _ = writeln!(out, "      \"solves\": {},", c.solves);
+            let _ = writeln!(
+                out,
+                "      \"solves_per_decision\": {:.6},",
+                c.solves_per_decision
+            );
+            let _ = writeln!(out, "      \"event_cohorts\": {},", c.event_cohorts);
+            let _ = writeln!(out, "      \"batched_solves\": {},", c.batched_solves);
+            let _ = writeln!(out, "      \"solves_avoided\": {},", c.solves_avoided);
+            let _ = writeln!(out, "      \"scratch_hits\": {},", c.scratch_hits);
+            let _ = writeln!(out, "      \"scratch_misses\": {},", c.scratch_misses);
             let _ = writeln!(out, "      \"windows\": {},", c.windows);
             out.push_str("      \"phases\": [\n");
             for (j, p) in c.phases.iter().enumerate() {
@@ -197,12 +233,23 @@ pub fn run_profile_cell(seed: u64, clients: usize, cfg: &ProfileConfig) -> Profi
     let jobs = workload.jobs(&grid);
     let options = FetchOptions::default().with_parallelism(gcfg.parallelism);
     let recovery = RecoveryOptions::default();
+    // Engine counters are lifetime totals; diff across the replay so the
+    // cell reports replay work only, not warm-up churn.
+    let pre = grid.network().stats();
     let report = grid
         .replay_concurrent(&jobs, options, &recovery)
         .expect("generated workloads only fail per-job");
 
     let makespan_s = report.makespan().as_secs_f64();
     let decisions = grid.metrics_snapshot().counter("selection.decisions");
+    let mut stats = grid.network().stats();
+    stats.incremental_solves -= pre.incremental_solves;
+    stats.full_solves -= pre.full_solves;
+    stats.event_cohorts -= pre.event_cohorts;
+    stats.batched_solves -= pre.batched_solves;
+    stats.solves_avoided -= pre.solves_avoided;
+    let solves = stats.incremental_solves + stats.full_solves;
+    let (scratch_hits, scratch_misses) = grid.score_scratch_stats();
     let snapshot = grid.profiler().snapshot();
     let settles = snapshot
         .phases
@@ -239,6 +286,17 @@ pub fn run_profile_cell(seed: u64, clients: usize, cfg: &ProfileConfig) -> Profi
         decisions_per_sec: per_sec(decisions),
         settles,
         settles_per_sec: per_sec(settles),
+        solves,
+        solves_per_decision: if decisions > 0 {
+            solves as f64 / decisions as f64
+        } else {
+            0.0
+        },
+        event_cohorts: stats.event_cohorts,
+        batched_solves: stats.batched_solves,
+        solves_avoided: stats.solves_avoided,
+        scratch_hits,
+        scratch_misses,
         windows: timeline.window_count(),
         phases,
     };

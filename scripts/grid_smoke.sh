@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_grid.json}"
 
 # CI-sized sweep: big enough to exercise real contention, small enough
-# to stay in seconds. The default 16..1024 sweep runs locally.
+# to stay in seconds. The default 16..16384 sweep runs locally.
 export DATAGRID_GRID_CLIENTS="${DATAGRID_GRID_CLIENTS:-16,64,256}"
 
 cargo build --release -p datagrid-bench --bin grid_scale

@@ -7,12 +7,15 @@
 # Builds the bench crate in release mode, runs the `profile` binary (grid
 # replay with the health timeline and phase profiler attached), writes
 # `BENCH_profile.json` (default: at the repo root), re-reads it with
-# `profile --check` so a malformed report fails loudly, and re-runs the
-# sweep to assert the default-build report is byte-identical (the
-# determinism contract: no wall-clock data leaks into the default output).
-# Then runs the timeline determinism property test and the obs suite with
-# `prof-timing` enabled, proving the timed build still compiles and its
-# counts stay deterministic. Shape and determinism only — not a perf gate.
+# `profile --check` so a malformed report fails loudly, and gates the
+# hot-path work counters against `ci/profile_budget.json` with
+# `profile --check-budget` (solver passes per decision, batching savings,
+# zero steady-state dispatch allocations — deterministic counters, not
+# timings). Then re-runs the sweep to assert the default-build report is
+# byte-identical (the determinism contract: no wall-clock data leaks into
+# the default output), runs the timeline determinism property test, and
+# the obs suite with `prof-timing` enabled, proving the timed build still
+# compiles and its counts stay deterministic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +29,7 @@ export DATAGRID_PROFILE_CLIENTS="${DATAGRID_PROFILE_CLIENTS:-16,64}"
 cargo build --release -p datagrid-bench --bin profile
 ./target/release/profile --out "${OUT}"
 ./target/release/profile --check "${OUT}"
+./target/release/profile --check-budget ci/profile_budget.json "${OUT}"
 
 # Same seed, second run: the default build's report must not change by a
 # single byte.

@@ -155,3 +155,62 @@ fn link_blackout_fails_over_affected_clients_only() {
         .count();
     assert!(hit_decisions >= 2, "both affected clients re-decide");
 }
+
+/// The hot-path regression the cohort batching exists to fix: in a
+/// background-churn workload (many concurrent clients over one grid,
+/// all-pairs monitor probes landing on shared ticks), the per-event
+/// engine runs one solver pass per flow mutation, so solver passes track
+/// arrivals one-for-one. The batched engine must (a) actually batch —
+/// `EngineStats::solves_avoided` strictly positive — and (b) finish the
+/// same workload with strictly fewer solver passes, while every public
+/// number stays identical.
+#[test]
+fn background_churn_batches_per_arrival_solves() {
+    use datagrid::testbed::gridscale::{run_grid_scale_cell, GridScaleConfig};
+
+    let cfg = GridScaleConfig {
+        files: 12,
+        warm: SimDuration::from_secs(30),
+        // Tight arrivals: clients land while earlier transfers (and the
+        // monitor's probe flows) are still churning the same components.
+        mean_inter_arrival: SimDuration::from_millis(250),
+        ..GridScaleConfig::default()
+    };
+    let batched = run_grid_scale_cell(99, 48, &cfg);
+    let per_event = run_grid_scale_cell(
+        99,
+        48,
+        &GridScaleConfig {
+            batching: false,
+            ..cfg
+        },
+    );
+
+    // The toggle must be publicly unobservable...
+    assert_eq!(batched.cell.completed, per_event.cell.completed);
+    assert_eq!(batched.cell.failed, per_event.cell.failed);
+    assert_eq!(batched.cell.makespan_s, per_event.cell.makespan_s);
+    assert_eq!(batched.cell.p99_s, per_event.cell.p99_s);
+    assert_eq!(&batched.obs.events_jsonl, &per_event.obs.events_jsonl);
+
+    // ...while the solver bookkeeping shows the batching did real work.
+    assert_eq!(per_event.cell.solves_avoided, 0);
+    assert_eq!(per_event.cell.batched_solves, 0);
+    assert!(
+        batched.cell.solves_avoided > 0,
+        "churn workload produced no same-instant cohorts to batch"
+    );
+    let solves =
+        |c: &datagrid::testbed::gridscale::GridScaleCell| c.incremental_solves + c.full_solves;
+    assert!(
+        solves(&batched.cell) < solves(&per_event.cell),
+        "batching must strictly reduce solver passes: {} vs {}",
+        solves(&batched.cell),
+        solves(&per_event.cell)
+    );
+    assert_eq!(
+        solves(&per_event.cell) - solves(&batched.cell),
+        batched.cell.solves_avoided,
+        "every avoided solve must be accounted for"
+    );
+}

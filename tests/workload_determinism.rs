@@ -46,6 +46,48 @@ proptest! {
         }
     }
 
+    /// Cohort batching is unobservable from the grid: the batched and
+    /// per-event engines replay the same workload into byte-identical
+    /// `BENCH_grid.json` bodies (modulo the solver-pass counter lines the
+    /// batching exists to change) and byte-identical obs event logs,
+    /// selection audits, and metrics (modulo the same counters).
+    #[test]
+    fn batching_toggle_is_publicly_unobservable(
+        seed in 0u64..1_000_000,
+        clients in 2usize..7,
+        files in 4usize..10,
+    ) {
+        let cfg = quick_cfg(files);
+        let per_event = GridScaleConfig { batching: false, ..cfg };
+        let a = run_grid_scale(seed, &[clients], &cfg);
+        let b = run_grid_scale(seed, &[clients], &per_event);
+        // Only the solver-pass bookkeeping may differ.
+        let solver_line = |l: &&str| {
+            !(l.contains("solve") || l.contains("cohort"))
+        };
+        let ja = GridScaleReport::from_runs(seed, &a).render_json();
+        let jb = GridScaleReport::from_runs(seed, &b).render_json();
+        prop_assert_eq!(
+            ja.lines().filter(solver_line).collect::<Vec<_>>(),
+            jb.lines().filter(solver_line).collect::<Vec<_>>()
+        );
+        for (ra, rb) in a.iter().zip(&b) {
+            prop_assert_eq!(&ra.obs.events_jsonl, &rb.obs.events_jsonl);
+            prop_assert_eq!(&ra.obs.audit_jsonl, &rb.obs.audit_jsonl);
+            // The metrics export is a single JSON line; mask it at the
+            // field level instead.
+            let fields = |json: &str| {
+                json.split(',')
+                    .filter(|f| !(f.contains("solve") || f.contains("cohort")))
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(fields(&ra.obs.metrics_json), fields(&rb.obs.metrics_json));
+            // The per-event run must actually have taken the other path.
+            prop_assert!(rb.obs.metrics_json.contains("\"simnet.solves_avoided\":0"));
+        }
+    }
+
     /// Different seeds produce genuinely different workload schedules
     /// (arrival times diverge) and different reports.
     #[test]
