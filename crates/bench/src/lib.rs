@@ -18,6 +18,7 @@
 //! | `ablation_replication` | dynamic replica creation strategies |
 //! | `scale` | simulation-core settle throughput (`BENCH_simnet.json`) |
 //! | `grid_scale` | multi-client replay sweep, static vs contention-aware (`BENCH_grid.json`) |
+//! | `fuzz` | seeded differential fuzzing of paired engine configurations |
 //!
 //! The sweep bins fan independent cells out with
 //! [`datagrid_testbed::par::par_map`]; `DATAGRID_JOBS=1` forces the
@@ -125,6 +126,11 @@ pub fn emit_engine_observability(sim: &datagrid_simnet::engine::NetSim, label: &
     m.set_counter("simnet.full_solves", s.full_solves);
     m.set_counter("simnet.solver_flows_touched", s.solver_flows_touched);
     m.set_counter("simnet.auto_shrinks", s.auto_shrinks);
+    m.set_counter("simnet.transitions_certified", s.transitions_certified);
+    m.set_counter(
+        "simnet.transition_flows_checked",
+        s.transition_flows_checked,
+    );
     let dir = std::path::Path::new(&dir);
     let write_all = || -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;

@@ -714,6 +714,14 @@ impl DataGrid {
         self.sim.set_event_batching(enabled);
     }
 
+    /// Overrides how the underlying simulator scopes rate re-solves
+    /// (see [`datagrid_simnet::engine::SolverMode`]; default incremental).
+    /// The from-scratch full mode exists as the differential-testing
+    /// baseline the fuzz harness pairs against.
+    pub fn set_solver_mode(&mut self, mode: datagrid_simnet::engine::SolverMode) {
+        self.sim.set_solver_mode(mode);
+    }
+
     /// Invalidates every cached candidate ranking by advancing the
     /// selection epoch. Called whenever monitoring, the catalog, faults or
     /// the selector itself change anything a score is derived from.
@@ -913,6 +921,11 @@ impl DataGrid {
         m.set_counter("simnet.event_cohorts", s.event_cohorts);
         m.set_counter("simnet.batched_solves", s.batched_solves);
         m.set_counter("simnet.solves_avoided", s.solves_avoided);
+        m.set_counter("simnet.transitions_certified", s.transitions_certified);
+        m.set_counter(
+            "simnet.transition_flows_checked",
+            s.transition_flows_checked,
+        );
         let (hits, misses) = self.score_scratch_stats();
         m.set_counter("selection.scratch_hits", hits);
         m.set_counter("selection.scratch_misses", misses);
@@ -2942,5 +2955,72 @@ mod scratch_tests {
         grid.score_candidates(client, "file-a").unwrap();
         let (_, m1) = grid.score_scratch_stats();
         assert_eq!(m1, m0 + 1, "residual entries must recompute on flow start");
+    }
+
+    /// Regression: a fault transition driven through the grid's event loop
+    /// bumps the selection epoch, so a warm scratch entry must re-rank
+    /// instead of serving the pre-fault ranking. Static mode isolates the
+    /// epoch path — its entries never key on the network version, so only
+    /// the `FaultChanged` invalidation can force the recompute.
+    #[test]
+    fn fault_transition_invalidates_scores() {
+        use datagrid_simnet::fault::{FaultKind, ScheduledFault};
+
+        let mut grid = with_file(small_grid(16));
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        grid.score_candidates(client, "file-a").unwrap();
+        let (h0, _) = grid.score_scratch_stats();
+        grid.score_candidates(client, "file-a").unwrap();
+        let (h1, m0) = grid.score_scratch_stats();
+        assert_eq!(h1, h0 + 1, "pre-fault repeat query must hit");
+        // Black out the fast replica's host mid-run; advance only 2 s so
+        // no monitor tick (10 s cadence) can mask the fault-epoch bump.
+        let fast_node = grid.node_of(grid.host_id("fast").unwrap());
+        let mut plan = FaultPlan::new();
+        plan.push(ScheduledFault {
+            at: grid.now() + SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(30),
+            kind: FaultKind::HostBlackout { node: fast_node },
+        });
+        grid.install_fault_plan(plan);
+        grid.warm_up(SimDuration::from_secs(2));
+        grid.score_candidates(client, "file-a").unwrap();
+        let (h2, m1) = grid.score_scratch_stats();
+        assert_eq!(m1, m0 + 1, "post-blackout query must recompute");
+        assert_eq!(h2, h1, "post-blackout query must not serve the stale entry");
+    }
+
+    /// The post-fault re-rank must be a *different* ranking where the
+    /// fault is observable: with contention-aware scoring a blacked-out
+    /// replica host's residual bandwidth collapses, so its recomputed
+    /// score must drop below its pre-fault value.
+    #[test]
+    fn blackout_rerank_degrades_dead_replica() {
+        use datagrid_simnet::fault::{FaultKind, ScheduledFault};
+
+        let mut grid = with_file(small_grid(17));
+        grid.set_selection_mode(SelectionMode::ContentionAware);
+        grid.warm_up(SimDuration::from_secs(120));
+        let client = grid.host_id("client").unwrap();
+        let before = grid.score_candidates(client, "file-a").unwrap();
+        let fast_before = before.iter().find(|c| c.host_name == "fast").unwrap();
+        let fast_node = grid.node_of(grid.host_id("fast").unwrap());
+        let mut plan = FaultPlan::new();
+        plan.push(ScheduledFault {
+            at: grid.now() + SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(30),
+            kind: FaultKind::HostBlackout { node: fast_node },
+        });
+        grid.install_fault_plan(plan);
+        grid.warm_up(SimDuration::from_secs(2));
+        let after = grid.score_candidates(client, "file-a").unwrap();
+        let fast_after = after.iter().find(|c| c.host_name == "fast").unwrap();
+        assert!(
+            fast_after.score < fast_before.score,
+            "blacked-out replica must re-rank lower: {} -> {}",
+            fast_before.score,
+            fast_after.score
+        );
     }
 }

@@ -36,7 +36,7 @@ use crate::flow::MaxMinSolver;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Bandwidth, LinkId, NodeId, RoutingTable, Topology};
-use crate::verify::{Certificate, Violation, ABS_TOL_BPS, REL_TOL};
+use crate::verify::{Certificate, TransitionCertificate, Violation, ABS_TOL_BPS, REL_TOL};
 
 /// A slab burst below this peak never triggers the automatic low-water
 /// scratch compaction — small simulations keep their buffers.
@@ -352,6 +352,18 @@ impl CompScratch {
     }
 }
 
+/// Pre-solve bit snapshot backing the transition certificate (see
+/// [`crate::verify`], "Transition certificates"): one entry per live flow,
+/// capturing the exact bit patterns the solve must either preserve
+/// (out-of-component flows) or rewrite by exact re-integration (settled
+/// flows). Reused across solves so validation stays allocation-free once
+/// warm.
+#[derive(Debug, Clone, Default)]
+struct TransitionScratch {
+    /// `(slot, rate bits, remaining bits, settle clock)` per live flow.
+    entries: Vec<(u32, u64, u64, SimTime)>,
+}
+
 /// Scratch for [`NetSim::available_bandwidth`] phantom-flow probes, kept in
 /// a `RefCell` so probing stays `&self` (it is conceptually a read) while
 /// still reusing buffers across calls.
@@ -402,6 +414,13 @@ pub struct EngineStats {
     /// Per-event solves skipped because a cohort deferred them into one
     /// batched solve (`deferred - 1` summed over cohorts).
     pub solves_avoided: u64,
+    /// Solver transitions audited and certified against the pre-solve bit
+    /// snapshot (only counted while validation is on; see
+    /// [`crate::verify`], "Transition certificates").
+    pub transitions_certified: u64,
+    /// Live flows compared across certified transitions (frozen +
+    /// re-integrated) — the delta audit's work measure.
+    pub transition_flows_checked: u64,
 }
 
 /// The discrete-event network simulator.
@@ -437,6 +456,13 @@ pub struct NetSim {
     mode: SolverMode,
     comp: CompScratch,
     solver: MaxMinSolver,
+    /// Pre-solve bit snapshot for the transition certificate (filled only
+    /// while `validate` is on).
+    trans: TransitionScratch,
+    /// One-shot armed corruption applied to an out-of-component flow right
+    /// before the transition check — a test hook proving the delta audit
+    /// catches a solver that leaks outside its component.
+    inject_transition: Option<f64>,
     probe: RefCell<ProbeScratch>,
     /// Re-certify every solved component right after the solve (see
     /// [`crate::verify`]); defaults on in debug builds and under the
@@ -501,6 +527,8 @@ impl NetSim {
             mode: SolverMode::default(),
             comp: CompScratch::default(),
             solver: MaxMinSolver::new(),
+            trans: TransitionScratch::default(),
+            inject_transition: None,
             probe: RefCell::new(ProbeScratch::default()),
             validate: cfg!(any(debug_assertions, feature = "validate")),
             auto_shrink: true,
@@ -634,6 +662,142 @@ impl NetSim {
             .expect("indexed flow is live")
             .rate_bps += delta_bps;
         true
+    }
+
+    /// Arms a one-shot corruption of an out-of-component flow's rate,
+    /// applied right after the next incremental solve's rate assignment
+    /// and before its transition check — a test hook proving the delta
+    /// audit rejects a solver that leaks outside its component. The
+    /// perturbation is relative: the victim's rate moves by
+    /// `max(|rate|, 1) * rel_delta`. Stays armed until a solve actually
+    /// has a live flow outside its component. The engine is left in an
+    /// inconsistent state once it fires; do not keep simulating after the
+    /// resulting panic is caught.
+    #[doc(hidden)]
+    pub fn inject_transition_fault_for_validation(&mut self, rel_delta: f64) {
+        self.inject_transition = Some(rel_delta);
+    }
+
+    /// Captures every live flow's rate/byte bit patterns ahead of a solve
+    /// — the "before" side of the transition certificate.
+    fn snapshot_transition(&mut self) {
+        let entries = &mut self.trans.entries;
+        entries.clear();
+        for (slot, f) in self.flows.iter().enumerate() {
+            if let Some(f) = f {
+                entries.push((
+                    slot as u32,
+                    f.rate_bps.to_bits(),
+                    f.remaining.to_bits(),
+                    f.last_update,
+                ));
+            }
+        }
+    }
+
+    /// Audits the transition the solve just applied against the pre-solve
+    /// snapshot (see [`crate::verify`], "Transition certificates"). With
+    /// `full_scope` every live flow belongs to the solve (full-mode /
+    /// whole-grid solves); otherwise membership comes from the component
+    /// stamp in `self.comp`.
+    fn check_transition(&self, full_scope: bool) -> Result<TransitionCertificate, Violation> {
+        let mut cert = TransitionCertificate {
+            component_flows: self.comp.flows.len(),
+            ..TransitionCertificate::default()
+        };
+        for &(slot, rate_bits, rem_bits, last_update) in &self.trans.entries {
+            let s = slot as usize;
+            let Some(f) = self.flows[s].as_ref() else {
+                continue; // slot freed since the snapshot (not by a solve)
+            };
+            let rate_before = f64::from_bits(rate_bits);
+            let rem_before = f64::from_bits(rem_bits);
+            let in_scope =
+                full_scope || self.comp.flow_stamp.get(s).copied() == Some(self.comp.stamp);
+            if !in_scope {
+                // Component confinement: bit-identical rate, bytes, clock.
+                if f.rate_bps.to_bits() != rate_bits {
+                    return Err(Violation::OutOfComponentRateChange {
+                        flow: f.id,
+                        before_bps: rate_before,
+                        after_bps: f.rate_bps,
+                    });
+                }
+                if f.remaining.to_bits() != rem_bits || f.last_update != last_update {
+                    return Err(Violation::OutOfComponentSettle {
+                        flow: f.id,
+                        before_remaining: rem_before,
+                        after_remaining: f.remaining,
+                    });
+                }
+                cert.frozen_flows += 1;
+                continue;
+            }
+            // In scope: either untouched (rate bits and clock unchanged)
+            // or settled by exact re-integration of the *pre-solve* rate.
+            // `max(..., 0.0)` mirrors `settle_flow` bit for bit.
+            let expected = if f.rate_bps.to_bits() == rate_bits && f.last_update == last_update {
+                rem_before
+            } else {
+                let dt = (self.now - last_update).as_secs_f64();
+                if dt > 0.0 {
+                    (rem_before - rate_before / 8.0 * dt).max(0.0)
+                } else {
+                    rem_before
+                }
+            };
+            if f.remaining.to_bits() != expected.to_bits() {
+                return Err(Violation::TransitionByteMismatch {
+                    flow: f.id,
+                    rate_bps: rate_before,
+                    expected_remaining: expected,
+                    actual_remaining: f.remaining,
+                });
+            }
+            if f.rate_bps.to_bits() != rate_bits {
+                cert.resolved_flows += 1;
+            } else {
+                cert.frozen_flows += 1;
+            }
+            cert.bytes_settled += (rem_before - f.remaining).max(0.0);
+        }
+        Ok(cert)
+    }
+
+    /// Validate-mode epilogue shared by both solve paths: fire any armed
+    /// injection, audit the transition, then re-certify the settled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either certificate is falsified.
+    fn enforce_transition(&mut self, full_scope: bool) {
+        if self.inject_transition.is_some() && !full_scope {
+            self.apply_transition_injection();
+        }
+        match self.check_transition(full_scope) {
+            Ok(cert) => {
+                self.stats.transitions_certified += 1;
+                self.stats.transition_flows_checked +=
+                    (cert.frozen_flows + cert.resolved_flows) as u64;
+            }
+            Err(v) => panic!("transition certificate violated after solve: {v}"),
+        }
+    }
+
+    /// Fires the armed one-shot injection on the first live flow outside
+    /// the solved component, if any (stays armed otherwise).
+    fn apply_transition_injection(&mut self) {
+        let Some(rel) = self.inject_transition else {
+            return;
+        };
+        let victim = (0..self.flows.len()).find(|&s| {
+            self.flows[s].is_some() && self.comp.flow_stamp.get(s).copied() != Some(self.comp.stamp)
+        });
+        if let Some(s) = victim {
+            self.inject_transition = None;
+            let f = self.flows[s].as_mut().expect("victim slot is live");
+            f.rate_bps += f.rate_bps.abs().max(1.0) * rel;
+        }
     }
 
     /// Checks the certificate over a scope of flow slots and the links
@@ -821,6 +985,11 @@ impl NetSim {
             + self.solver.scratch_capacity()
             + probe.comp.footprint()
             + probe.solver.scratch_capacity()
+        // The transition validator's snapshot buffer is deliberately NOT
+        // counted: validation must stay invisible to every exported
+        // surface except its own audit counters, and this footprint
+        // feeds benchmark reports that are diffed across validation
+        // on/off runs. (`shrink_scratch` still releases it.)
     }
 
     /// Compacts the engine's reusable scratch back toward the *current*
@@ -852,6 +1021,7 @@ impl NetSim {
         let links = self.link_caps.len();
         self.comp.shrink(slots, links);
         self.solver.shrink();
+        self.trans.entries = Vec::new();
         let mut probe = self.probe.borrow_mut();
         probe.comp.shrink(slots, links);
         probe.solver.shrink();
@@ -1588,6 +1758,9 @@ impl NetSim {
         if n == 0 {
             return;
         }
+        if self.validate {
+            self.snapshot_transition();
+        }
         self.stats.incremental_solves += 1;
         self.stats.solver_flows_touched += n as u64;
         {
@@ -1643,6 +1816,7 @@ impl NetSim {
             self.schedule_completion(slot);
         }
         if self.validate {
+            self.enforce_transition(false);
             self.enforce_certificate(&self.comp.flows, &self.comp.links);
         }
     }
@@ -1651,6 +1825,9 @@ impl NetSim {
     /// scratch, reschedule every completion — the engine's behaviour
     /// before per-link indexes.
     fn resolve_everything(&mut self) {
+        if self.validate {
+            self.snapshot_transition();
+        }
         self.stats.full_solves += 1;
         self.stats.solver_flows_touched += self.active_flows as u64;
         self.comp.begin(self.flows.len(), self.link_caps.len());
@@ -1700,6 +1877,7 @@ impl NetSim {
             self.schedule_completion(slot);
         }
         if self.validate {
+            self.enforce_transition(true);
             self.enforce_certificate(&self.comp.flows, &self.all_links);
         }
     }

@@ -63,7 +63,7 @@ pub use engine::{
 pub use fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
-pub use verify::{Certificate, Violation};
+pub use verify::{Certificate, TransitionCertificate, Violation};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
@@ -79,5 +79,5 @@ pub mod prelude {
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Bandwidth, LinkId, LinkSpec, NodeId, Topology};
     pub use crate::trace::{LinkTrace, NetworkTrace};
-    pub use crate::verify::{Certificate, Violation};
+    pub use crate::verify::{Certificate, TransitionCertificate, Violation};
 }

@@ -27,6 +27,28 @@
 //! runtime via
 //! [`NetSim::set_validation`](crate::engine::NetSim::set_validation) — the
 //! bench bins' `--verify` flag).
+//!
+//! # Transition certificates
+//!
+//! Settled-state checks prove each *state* is max-min fair but say nothing
+//! about the *delta* an incremental solve applied to reach it: a buggy
+//! component walk could clobber a flow two hops away and the per-component
+//! certificate above would never look at it. When validation is on the
+//! engine therefore also audits every transition against a pre-solve bit
+//! snapshot:
+//!
+//! 1. **Component confinement** — a flow outside the solved connected
+//!    component keeps a bit-identical rate, byte counter and settle clock
+//!    ([`Violation::OutOfComponentRateChange`] /
+//!    [`Violation::OutOfComponentSettle`] otherwise).
+//! 2. **Exact byte re-integration** — a flow the solve settled carries
+//!    exactly `max(remaining − rate·dt/8, 0)` for its *pre-transition*
+//!    rate, bit for bit ([`Violation::TransitionByteMismatch`] otherwise);
+//!    bytes can only decrease across a transition, so conservation is
+//!    implied.
+//!
+//! A passing transition yields a [`TransitionCertificate`] and bumps
+//! `EngineStats::transitions_certified`.
 
 use std::fmt;
 
@@ -75,6 +97,33 @@ impl fmt::Display for Certificate {
             self.links_in_use,
             self.saturated_links,
             self.max_utilization
+        )
+    }
+}
+
+/// Proof summary for one certified solver transition: what the delta audit
+/// compared against the pre-solve bit snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransitionCertificate {
+    /// Flows inside the solved connected component.
+    pub component_flows: usize,
+    /// Live flows outside the component, proven bit-identical across the
+    /// transition.
+    pub frozen_flows: usize,
+    /// Component flows whose rate was rewritten by the solve (their byte
+    /// counters were re-integrated and checked exactly).
+    pub resolved_flows: usize,
+    /// Payload bytes settled (drained) across the transition.
+    pub bytes_settled: f64,
+}
+
+impl fmt::Display for TransitionCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transition certificate: {} component flows ({} re-rated), \
+             {} frozen outside, {:.0} bytes settled",
+            self.component_flows, self.resolved_flows, self.frozen_flows, self.bytes_settled
         )
     }
 }
@@ -136,6 +185,41 @@ pub enum Violation {
         /// The flow's payload size.
         total_bytes: u64,
     },
+    /// An incremental solve changed the rate of a flow *outside* the
+    /// perturbed connected component — the component walk is unsound and
+    /// the "incremental == full" equivalence no longer holds.
+    OutOfComponentRateChange {
+        /// The flow outside the solved component.
+        flow: FlowId,
+        /// Its rate before the solve.
+        before_bps: f64,
+        /// Its rate after the solve.
+        after_bps: f64,
+    },
+    /// An incremental solve touched the byte counter or settle clock of a
+    /// flow *outside* the perturbed connected component.
+    OutOfComponentSettle {
+        /// The flow outside the solved component.
+        flow: FlowId,
+        /// Bytes outstanding before the solve.
+        before_remaining: f64,
+        /// Bytes outstanding after the solve.
+        after_remaining: f64,
+    },
+    /// A settled flow's byte counter does not equal the exact
+    /// re-integration of its pre-transition rate over the elapsed sim
+    /// time — bytes were created, destroyed, or mis-billed across the
+    /// transition.
+    TransitionByteMismatch {
+        /// The mis-billed flow.
+        flow: FlowId,
+        /// The rate it carried before the solve.
+        rate_bps: f64,
+        /// Bytes outstanding the re-integration expects.
+        expected_remaining: f64,
+        /// Bytes outstanding the engine actually holds.
+        actual_remaining: f64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -175,6 +259,35 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "flow {flow} has {remaining} bytes outstanding of a {total_bytes}-byte payload"
+            ),
+            Violation::OutOfComponentRateChange {
+                flow,
+                before_bps,
+                after_bps,
+            } => write!(
+                f,
+                "flow {flow} is outside the solved component yet its rate moved \
+                 {before_bps} -> {after_bps} bps across the transition"
+            ),
+            Violation::OutOfComponentSettle {
+                flow,
+                before_remaining,
+                after_remaining,
+            } => write!(
+                f,
+                "flow {flow} is outside the solved component yet its byte counter moved \
+                 {before_remaining} -> {after_remaining} across the transition"
+            ),
+            Violation::TransitionByteMismatch {
+                flow,
+                rate_bps,
+                expected_remaining,
+                actual_remaining,
+            } => write!(
+                f,
+                "flow {flow} settled to {actual_remaining} bytes outstanding but exact \
+                 re-integration of its pre-transition rate {rate_bps} bps expects \
+                 {expected_remaining}"
             ),
         }
     }

@@ -106,6 +106,213 @@ fn build_scenario(
     Scenario { topo, flows, plan }
 }
 
+/// Two flow-disjoint islands bridged through a backbone no flow crosses:
+/// a solve for one island always leaves the other island's flow outside
+/// its component, which is exactly what the transition certificate's
+/// confinement check audits.
+fn two_islands() -> (Topology, [NodeId; 4]) {
+    let mut topo = Topology::new();
+    let a0 = topo.add_node("a0");
+    let a1 = topo.add_node("a1");
+    let b0 = topo.add_node("b0");
+    let b1 = topo.add_node("b1");
+    let hub_a = topo.add_node("hubA");
+    let hub_b = topo.add_node("hubB");
+    let backbone = topo.add_node("backbone");
+    let spec = || LinkSpec::new(Bandwidth::from_mbps(100.0), SimDuration::from_millis(1));
+    topo.add_duplex_link(a0, hub_a, spec());
+    topo.add_duplex_link(a1, hub_a, spec());
+    topo.add_duplex_link(b0, hub_b, spec());
+    topo.add_duplex_link(b1, hub_b, spec());
+    topo.add_duplex_link(hub_a, backbone, spec());
+    topo.add_duplex_link(hub_b, backbone, spec());
+    (topo, [a0, a1, b0, b1])
+}
+
+/// The injection hook corrupts an out-of-component flow's rate right
+/// before the transition check: the delta audit must reject the solve and
+/// name the corrupted flow in its counterexample.
+#[test]
+fn injected_transition_fault_is_detected_and_named() {
+    let (topo, [a0, a1, b0, b1]) = two_islands();
+    let mut sim = NetSim::new(topo, 11);
+    sim.set_validation(true);
+    let victim = sim.start_flow(FlowSpec::new(a0, a1, 50_000_000));
+    sim.inject_transition_fault_for_validation(1e-3);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Island B's solve never touches island A, so the armed ±1e-3
+        // corruption of `victim` must be pinned on the solve's delta.
+        sim.start_flow(FlowSpec::new(b0, b1, 50_000_000));
+    }))
+    .expect_err("corrupted transition must be rejected");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic carries a rendered message")
+        .clone();
+    assert!(
+        msg.contains("transition certificate violated"),
+        "unexpected rejection message: {msg}"
+    );
+    assert!(
+        msg.contains(&victim.to_string()),
+        "counterexample must name the corrupted flow {victim}: {msg}"
+    );
+    assert!(
+        msg.contains("outside the solved component"),
+        "counterexample must state the confinement breach: {msg}"
+    );
+}
+
+/// Validation is publicly unobservable: same seed with the audit on vs
+/// off yields the identical event timeline; only the transition counters
+/// (and no other stat) differ.
+#[test]
+fn transition_counters_count_only_under_validation() {
+    let run = |validate: bool| {
+        let (topo, [a0, a1, b0, b1]) = two_islands();
+        let mut sim = NetSim::new(topo, 23);
+        sim.set_validation(validate);
+        sim.start_flow(FlowSpec::new(a0, a1, 20_000_000));
+        sim.start_flow(FlowSpec::new(b0, b1, 30_000_000));
+        sim.start_flow(FlowSpec::new(a0, b1, 10_000_000));
+        let mut log = String::new();
+        while let Some(ev) = sim.next_event() {
+            log.push_str(&format!("{ev:?}\n"));
+        }
+        (log, sim.stats())
+    };
+    let (log_on, stats_on) = run(true);
+    let (log_off, stats_off) = run(false);
+    assert_eq!(log_on, log_off, "validation must not change the timeline");
+    assert!(stats_on.transitions_certified > 0);
+    assert!(stats_on.transition_flows_checked >= stats_on.transitions_certified);
+    assert_eq!(stats_off.transitions_certified, 0);
+    assert_eq!(stats_off.transition_flows_checked, 0);
+    let mut masked = stats_on;
+    masked.transitions_certified = 0;
+    masked.transition_flows_checked = 0;
+    assert_eq!(masked, stats_off, "only the audit counters may differ");
+}
+
+/// Counterexample rendering: every `Violation` variant names the offending
+/// flow/link ids and the numbers behind the falsification — a rejected
+/// certificate must be debuggable from its message alone.
+#[test]
+fn violation_messages_name_ids_and_rates() {
+    let (mut topo, [a0, a1, ..]) = two_islands();
+    let (link, _) = topo.add_duplex_link(
+        a0,
+        a1,
+        LinkSpec::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(1)),
+    );
+    let mut sim = NetSim::new(topo, 5);
+    let flow = sim.start_flow(FlowSpec::new(a0, a1, 1_000));
+    let flow_tag = flow.to_string();
+    let link_tag = link.to_string();
+    assert!(
+        flow_tag.starts_with('f'),
+        "flow ids render as fN: {flow_tag}"
+    );
+    assert!(
+        link_tag.starts_with('l'),
+        "link ids render as lN: {link_tag}"
+    );
+    let cases: Vec<(Violation, Vec<String>)> = vec![
+        (
+            Violation::UnsolvedRate { flow },
+            vec![flow_tag.clone(), "never solved".into()],
+        ),
+        (
+            Violation::NegativeRate {
+                flow,
+                rate_bps: -42.5,
+            },
+            vec![flow_tag.clone(), "-42.5".into()],
+        ),
+        (
+            Violation::CapExceeded {
+                flow,
+                rate_bps: 1_250.0,
+                cap_bps: 1_000.0,
+            },
+            vec![flow_tag.clone(), "1250".into(), "1000".into()],
+        ),
+        (
+            Violation::LinkOversubscribed {
+                link,
+                allocated_bps: 2_000.0,
+                capacity_bps: 1_500.0,
+            },
+            vec![link_tag.clone(), "2000".into(), "1500".into()],
+        ),
+        (
+            Violation::NotBottlenecked {
+                flow,
+                rate_bps: 640.0,
+            },
+            vec![flow_tag.clone(), "640".into(), "saturated".into()],
+        ),
+        (
+            Violation::ByteAccounting {
+                flow,
+                remaining: -3.0,
+                total_bytes: 9_000,
+            },
+            vec![flow_tag.clone(), "-3".into(), "9000".into()],
+        ),
+        (
+            Violation::OutOfComponentRateChange {
+                flow,
+                before_bps: 100.0,
+                after_bps: 101.0,
+            },
+            vec![
+                flow_tag.clone(),
+                "100".into(),
+                "101".into(),
+                "outside the solved component".into(),
+            ],
+        ),
+        (
+            Violation::OutOfComponentSettle {
+                flow,
+                before_remaining: 500.0,
+                after_remaining: 400.0,
+            },
+            vec![
+                flow_tag.clone(),
+                "500".into(),
+                "400".into(),
+                "outside the solved component".into(),
+            ],
+        ),
+        (
+            Violation::TransitionByteMismatch {
+                flow,
+                rate_bps: 800.0,
+                expected_remaining: 123.0,
+                actual_remaining: 321.0,
+            },
+            vec![
+                flow_tag.clone(),
+                "800".into(),
+                "123".into(),
+                "321".into(),
+                "re-integration".into(),
+            ],
+        ),
+    ];
+    for (violation, needles) in cases {
+        let msg = violation.to_string();
+        for needle in needles {
+            assert!(
+                msg.contains(&needle),
+                "rendered violation {violation:?} must mention {needle:?}: {msg}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -16,6 +16,9 @@
 //!   rendering the deterministic `BENCH_profile.json` body,
 //! * [`experiment`] — text-table rendering and the selection-quality
 //!   harness (oracle comparison) used by the benches,
+//! * [`fuzz`] — the seeded differential fuzzing harness: random
+//!   topologies, fault schedules and workloads replayed through paired
+//!   engine configurations, with oracle diffing and scenario shrinking,
 //! * [`par`] — deterministic order-preserving parallel map for the bench
 //!   sweeps (`DATAGRID_JOBS` controls the worker count).
 
@@ -25,6 +28,7 @@
 
 pub mod calibration;
 pub mod experiment;
+pub mod fuzz;
 pub mod gridscale;
 pub mod par;
 pub mod profile;
@@ -38,6 +42,10 @@ pub mod prelude {
     pub use crate::calibration::Calibration;
     pub use crate::experiment::{
         obs_dump, replay_trace, selection_quality, write_obs_dump, ObsDump, QualityStats, TextTable,
+    };
+    pub use crate::fuzz::{
+        check_scenario, render_divergence_report, run_scenario, shrink, Divergence, FuzzSpec,
+        Oracle, Pair, RunConfig, Surfaces, BASELINE, PAIRS,
     };
     pub use crate::gridscale::{
         all_paper_hosts, build_cell, run_grid_scale, run_grid_scale_cell, GridScaleCell,

@@ -43,6 +43,10 @@ step_bench_smoke() { step bench-smoke scripts/bench.sh target/BENCH_simnet.json;
 # BENCH_profile.json that is byte-identical across same-seed runs, and
 # the prof-timing build must stay green (scripts/profile_smoke.sh).
 step_profile_smoke() { step profile-smoke scripts/profile_smoke.sh target/BENCH_profile.json; }
+# Differential fuzz smoke: a fixed-seed corpus of random scenarios must
+# agree across paired engine configurations, and the harness must catch
+# its own sabotage (scripts/fuzz_smoke.sh).
+step_fuzz_smoke() { step fuzz-smoke scripts/fuzz_smoke.sh; }
 
 if [ $# -gt 0 ]; then
   for sel in "$@"; do
@@ -57,6 +61,7 @@ else
   step_lint
   step_bench_smoke
   step_profile_smoke
+  step_fuzz_smoke
 fi
 
 echo "==> ci OK"
