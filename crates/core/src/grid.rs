@@ -1425,6 +1425,7 @@ impl DataGrid {
     /// # Errors
     ///
     /// As [`DataGrid::score_candidates`]; on error `out` is left cleared.
+    // lint: hot-path
     pub fn score_candidates_into(
         &self,
         client: HostId,

@@ -311,6 +311,7 @@ impl DataGrid {
 }
 
 impl Driver<'_> {
+    // lint: hot-path
     fn run(&mut self) -> Result<(), GridError> {
         while self.remaining > 0 {
             let before = self.grid.sim.stats();
@@ -627,6 +628,7 @@ impl Driver<'_> {
         Ok(())
     }
 
+    // lint: hot-path
     fn on_session_event(
         &mut self,
         idx: usize,

@@ -1,0 +1,25 @@
+//! Known-bad: allocations reached through a `// lint: hot-path` root.
+//! The root itself is clean — every finding here is found only because
+//! the call graph propagates hotness into `build_report` and `stash`.
+
+// lint: hot-path
+fn dispatch(&mut self) {
+    self.step();
+    build_report(self);
+}
+
+fn build_report(sim: &mut Sim) -> Report {
+    let mut lines = Vec::new(); // finding: Vec::new in hot-reachable fn
+    lines.push(format!("t={}", sim.now)); // finding: format!
+    sim.stash(lines)
+}
+
+fn stash(&mut self, lines: Vec<String>) -> Report {
+    let copy = lines.clone(); // finding: clone
+    Report { lines: copy }
+}
+
+fn cold_path() {
+    // Not reachable from the hot root: allocating here is fine.
+    let _scratch: Vec<u8> = Vec::with_capacity(64);
+}

@@ -1,0 +1,13 @@
+//! Known-bad: id-ish values silently truncated by `as` casts.
+
+fn register(&mut self, flow_id: u64, hosts: &[Host]) {
+    let short = flow_id as u32; // finding: id narrowed
+    let n = hosts.len() as u16; // finding: length narrowed
+    self.table.insert(short, n);
+}
+
+fn fine(ratio: f64, flow_id: u64) -> (u32, u64) {
+    // Neither direction fires: a float cast is not an id, and widening
+    // an id loses nothing.
+    (ratio as u32, flow_id as u64)
+}

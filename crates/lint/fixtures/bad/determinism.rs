@@ -1,0 +1,30 @@
+//! Known-bad: hash-ordered containers feeding a rendered artifact.
+//! `render_summary` is an export root by name; `collect_counts` is
+//! reachable from it, so the `HashSet` there is flagged too.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn render_summary(stats: &Stats) -> String {
+    let counts: HashMap<String, u64> = collect_counts(stats); // finding
+    let mut out = String::new();
+    for (k, v) in &counts {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+fn collect_counts(stats: &Stats) -> HashMap<String, u64> {
+    let mut seen: HashSet<&str> = HashSet::new(); // findings: HashMap + HashSet
+    let mut counts = HashMap::new();
+    for s in &stats.samples {
+        if seen.insert(s.name.as_str()) {
+            counts.insert(s.name.clone(), s.value);
+        }
+    }
+    counts
+}
+
+fn unrelated(map: &HashMap<u32, u32>) -> usize {
+    // Not export-reachable: using a HashMap internally is fine.
+    map.len()
+}

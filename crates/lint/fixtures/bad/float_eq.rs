@@ -1,0 +1,12 @@
+//! Known-bad: exact float comparisons outside the sanctioned modules.
+
+fn check(rate: f64, target: f64) -> bool {
+    if rate == 0.0 {
+        return false; // finding: == against a float literal
+    }
+    rate != 1.5 // finding: != against a float literal
+}
+
+fn fine(count: u64) -> bool {
+    count == 0 // integers compare exactly; no finding
+}

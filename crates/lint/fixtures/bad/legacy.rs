@@ -1,0 +1,14 @@
+//! Known-bad: the v1 rule families, now token-level.
+
+use std::time::Instant;
+
+fn brittle(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // finding: no-unwrap
+    let b = x.expect("always here"); // finding: no-expect
+    if a != b {
+        panic!("mismatch"); // finding: no-panic
+    }
+    println!("a = {a}"); // finding: no-println
+    let _t = Instant::now(); // finding: no-wallclock
+    a
+}

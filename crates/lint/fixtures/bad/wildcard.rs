@@ -1,0 +1,15 @@
+//! Known-bad: `_ =>` arms over enums the model checker enumerates.
+
+fn classify(ev: &SimEvent) -> &'static str {
+    match ev.kind {
+        EventKind::FlowCompleted(_) => "done",
+        _ => "other", // finding: wildcard over a watched enum
+    }
+}
+
+fn fine(n: u32) -> &'static str {
+    match n {
+        0 => "zero",
+        _ => "many", // not a watched enum; no finding
+    }
+}

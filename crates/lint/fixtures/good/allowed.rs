@@ -1,0 +1,14 @@
+//! Known-good: real violations, each carrying an audited site-level
+//! allow. The analyzer must report nothing — and if any allow stops
+//! matching, it must flag the directive itself as stale.
+
+// lint: hot-path
+fn hot_with_sanctioned_alloc(&mut self) {
+    // A deliberate allocation on the hot path, with its audit trail:
+    let label = self.name.to_string(); // lint: allow(alloc-in-hot-path) -- error path only, executes at most once per run
+    self.fail(label);
+}
+
+fn invariant_backed_expect(x: Option<u32>) -> u32 {
+    x.expect("slot map invariant: live handle") // lint: allow(no-expect) -- invariant documented on SlotMap::insert
+}

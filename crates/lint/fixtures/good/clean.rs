@@ -1,0 +1,42 @@
+//! Known-good: the traps that defeated the v1 line scanner. Everything
+//! in this file that *looks* like a violation is inert — commented out,
+//! quoted, or test-only — so the analyzer must report nothing.
+
+/*
+ * A whole function commented out across multiple lines, v1's first
+ * blind spot:
+ *
+ * fn old_code() {
+ *     let x = config.unwrap();
+ *     panic!("unreachable");
+ * }
+ */
+
+fn renders_documentation() -> &'static str {
+    // Violations inside a multi-line raw string are data, not code —
+    // v1's second blind spot.
+    r#"
+        example: value.unwrap()
+        example: panic!("boom")
+        example: Instant::now()
+    "#
+}
+
+/* nested /* block */ comments resolve correctly: fn fake() { x.unwrap(); } */
+
+fn escaped_quotes() -> String {
+    let s = "not a real \" string end: x.unwrap()";
+    s.into()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("test-only panic is fine");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Stable finding fingerprints and the ratcheting baseline.
+//!
+//! A fingerprint must survive unrelated edits (line shifts, neighbouring
+//! code churn) but change when the finding itself moves or mutates, so
+//! it hashes *what* and *where-structurally*, never the line number:
+//!
+//! ```text
+//! fnv1a64(rule ‖ path ‖ enclosing-fn ‖ whitespace-normalised excerpt ‖ ordinal)
+//! ```
+//!
+//! The ordinal disambiguates identical excerpts inside one function
+//! (first `x.clone()` vs. second). Renaming the function or editing the
+//! offending line re-fingerprints the finding — by design: a changed
+//! line deserves a fresh look, not a grandfathered pass.
+//!
+//! The baseline (`ci/lint_baseline.json`) is the ratchet: findings whose
+//! fingerprints it lists are tolerated *legacy debt*; anything new fails
+//! `--deny`, and a baseline entry matching no current finding is itself
+//! a failure (`stale-baseline`), so the file can only shrink. The same
+//! one-way policy the allowlist has had since PR 5, now at
+//! per-finding granularity.
+
+use crate::json::{self, Json};
+
+/// One tolerated legacy finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Fingerprint of the tolerated finding.
+    pub fingerprint: String,
+    /// Rule id, for human readers of the baseline file.
+    pub rule: String,
+    /// Workspace-relative path, for human readers.
+    pub path: String,
+    /// Optional context note.
+    pub note: String,
+}
+
+/// Parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// True when `fingerprint` is a tolerated legacy finding.
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.entries.iter().any(|e| e.fingerprint == fingerprint)
+    }
+}
+
+/// 64-bit FNV-1a over `parts` with a separator byte between parts.
+pub fn fnv1a64(parts: &[&str]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for part in parts {
+        for b in part.bytes() {
+            eat(b);
+        }
+        eat(0x1f); // unit separator: "ab"+"c" must differ from "a"+"bc"
+    }
+    hash
+}
+
+/// Collapses runs of whitespace so formatting churn does not
+/// re-fingerprint a finding.
+pub fn normalize_excerpt(excerpt: &str) -> String {
+    let mut out = String::with_capacity(excerpt.len());
+    let mut last_space = true;
+    for c in excerpt.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Computes the stable fingerprint for one finding.
+pub fn fingerprint(rule: &str, path: &str, scope: &str, excerpt: &str, ordinal: usize) -> String {
+    let norm = normalize_excerpt(excerpt);
+    let ord = ordinal.to_string();
+    format!("{:016x}", fnv1a64(&[rule, path, scope, &norm, &ord]))
+}
+
+/// Parses `ci/lint_baseline.json`. Unknown keys are ignored so the
+/// format can grow; a missing `fingerprint` is an error.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let doc = json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+    let mut baseline = Baseline::default();
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline: missing `findings` array".to_string())?;
+    for (idx, item) in findings.iter().enumerate() {
+        let field = |key: &str| {
+            item.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
+        let fp = field("fingerprint");
+        if fp.is_empty() {
+            return Err(format!("baseline: entry {idx} has no fingerprint"));
+        }
+        baseline.entries.push(BaselineEntry {
+            fingerprint: fp,
+            rule: field("rule"),
+            path: field("path"),
+            note: field("note"),
+        });
+    }
+    Ok(baseline)
+}
+
+/// Renders a baseline document for `--write-baseline`. Entries are
+/// sorted by (path, rule, fingerprint) so regeneration is diff-stable.
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.path, &a.rule, &a.fingerprint).cmp(&(&b.path, &b.rule, &b.fingerprint))
+    });
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 2,\n");
+    out.push_str("  \"policy\": \"ratchet: new findings fail CI; entries may only be removed\",\n");
+    out.push_str("  \"findings\": [");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"fingerprint\": \"");
+        out.push_str(&json::escape(&e.fingerprint));
+        out.push_str("\", \"rule\": \"");
+        out.push_str(&json::escape(&e.rule));
+        out.push_str("\", \"path\": \"");
+        out.push_str(&json::escape(&e.path));
+        out.push_str("\", \"note\": \"");
+        out.push_str(&json::escape(&e.note));
+        out.push_str("\"}");
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_across_line_shifts_but_not_edits() {
+        let a = fingerprint(
+            "no-unwrap",
+            "crates/core/src/x.rs",
+            "decide",
+            "x.unwrap()",
+            0,
+        );
+        let b = fingerprint(
+            "no-unwrap",
+            "crates/core/src/x.rs",
+            "decide",
+            "  x.unwrap()  ",
+            0,
+        );
+        assert_eq!(a, b, "whitespace normalisation");
+        let c = fingerprint(
+            "no-unwrap",
+            "crates/core/src/x.rs",
+            "decide",
+            "y.unwrap()",
+            0,
+        );
+        assert_ne!(a, c, "edited excerpt re-fingerprints");
+        let d = fingerprint(
+            "no-unwrap",
+            "crates/core/src/x.rs",
+            "decide",
+            "x.unwrap()",
+            1,
+        );
+        assert_ne!(a, d, "ordinal disambiguates duplicates");
+    }
+
+    #[test]
+    fn separator_prevents_field_bleed() {
+        assert_ne!(fnv1a64(&["ab", "c"]), fnv1a64(&["a", "bc"]));
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let entries = vec![BaselineEntry {
+            fingerprint: "00deadbeef001234".into(),
+            rule: "float-eq".into(),
+            path: "crates/core/src/x.rs".into(),
+            note: "legacy".into(),
+        }];
+        let text = render(&entries);
+        let parsed = parse(&text).expect("round trips");
+        assert_eq!(parsed.entries, entries);
+        assert!(parsed.contains("00deadbeef001234"));
+        assert!(!parsed.contains("ffff"));
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let text = render(&[]);
+        let parsed = parse(&text).expect("parses");
+        assert!(parsed.entries.is_empty());
+    }
+
+    #[test]
+    fn missing_fingerprint_is_an_error() {
+        assert!(parse("{\"findings\": [{\"rule\": \"x\"}]}").is_err());
+        assert!(parse("{\"nope\": 1}").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Approximate intra-crate call graph.
+//!
+//! Nodes are the indexed `fn` items of one crate; an edge `f → g` exists
+//! when `f`'s body contains a call whose bare callee name matches `g`'s
+//! name. Matching is by name only — no type resolution — which makes the
+//! graph deliberately *over*-approximate: a call `x.settle()` connects
+//! to every `fn settle` in the crate, whichever type it belongs to. For
+//! hot-path propagation that is the conservative direction (a function
+//! is treated as hot unless no hot caller could possibly reach it), and
+//! cross-crate calls simply end at the crate boundary, which keeps the
+//! blast radius of one annotation reviewable.
+//!
+//! Two reachability sets are computed:
+//!
+//! - **hot**: reachable from a `// lint: hot-path` annotated root; the
+//!   `alloc-in-hot-path` rule fires only inside these bodies.
+//! - **export-reach**: reachable from an export root — a function whose
+//!   name says it renders/serialises output (`render_*`, `export_*`,
+//!   `emit_*`, `dump_*`, `write_*`, `*snapshot*`, `*_json`, `*_text`) —
+//!   where the `hash-iter-export` determinism rule watches for
+//!   `HashMap`/`HashSet`.
+
+use crate::index::FileIndex;
+use crate::lexer::{Lexed, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies one function across a crate's files: (file index within
+/// the crate, item index within the file).
+pub type FnRef = (usize, usize);
+
+/// Keywords and call-like constructs that are never callee names.
+const NON_CALLEES: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "move", "let", "else",
+    "Some", "Ok",
+];
+
+/// Std types whose associated functions (`Vec::new`, `String::from`, …)
+/// must not be mistaken for calls to same-named crate functions: without
+/// this, one `HashMap::new()` in a hot body would mark every `fn new` in
+/// the crate hot.
+const STD_QUALIFIERS: [&str; 16] = [
+    "Vec", "VecDeque", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Rc", "Arc",
+    "Option", "Result", "Cell", "RefCell", "Duration", "Cow",
+];
+
+/// True when `name` marks a function as an export root for the
+/// determinism rule.
+pub fn is_export_root(name: &str) -> bool {
+    name.starts_with("render_")
+        || name.starts_with("export_")
+        || name.starts_with("emit_")
+        || name.starts_with("dump_")
+        || name.starts_with("write_")
+        || name.contains("snapshot")
+        || name.ends_with("_json")
+        || name.ends_with("_text")
+}
+
+/// Per-crate reachability flags, indexed like the crate's files/items.
+#[derive(Debug, Default)]
+pub struct Reachability {
+    /// `hot[file][item]`: body is reachable from a hot-path root.
+    pub hot: Vec<Vec<bool>>,
+    /// `export[file][item]`: body is reachable from an export root.
+    pub export: Vec<Vec<bool>>,
+}
+
+impl Reachability {
+    /// True when the item is hot-path-reachable.
+    pub fn is_hot(&self, file: usize, item: usize) -> bool {
+        self.hot
+            .get(file)
+            .and_then(|v| v.get(item))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// True when the item is export-reachable.
+    pub fn is_export(&self, file: usize, item: usize) -> bool {
+        self.export
+            .get(file)
+            .and_then(|v| v.get(item))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// One call site as the graph resolves it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Callee {
+    /// Unqualified or method call: matches every `fn name` in the crate.
+    Bare(String),
+    /// `Type::name(…)`: matches only `fn name` inside `impl Type`.
+    Qualified(String, String),
+}
+
+/// Collects everything `item`'s body calls: `name(…)`, `recv.name(…)`,
+/// `Type::name(…)`, including `.collect::<T>()` turbofish forms. Macro
+/// invocations (`name!`) are not calls. `Self::name(…)` resolves against
+/// the calling item's own impl type.
+pub fn callees(src: &str, lexed: &Lexed, index: &FileIndex, item: usize) -> BTreeSet<Callee> {
+    let mut out = BTreeSet::new();
+    let Some((open, close)) = index.items[item].body else {
+        return out;
+    };
+    let owner = index.items[item].owner.as_deref();
+    let toks = &lexed.tokens;
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = toks[i].text(src);
+        if NON_CALLEES.contains(&name) {
+            continue;
+        }
+        // Skip definitions: `fn name`.
+        if i > 0 && toks[i - 1].kind == TokenKind::Ident && toks[i - 1].text(src) == "fn" {
+            continue;
+        }
+        // Resolve the qualifier, if the call is `Something::name(…)`.
+        let qualifier =
+            if i >= 2 && toks[i - 1].text(src) == "::" && toks[i - 2].kind == TokenKind::Ident {
+                Some(toks[i - 2].text(src))
+            } else {
+                None
+            };
+        // Std associated functions (`Vec::new(…)`) are not crate calls.
+        if qualifier.is_some_and(|q| STD_QUALIFIERS.contains(&q)) {
+            continue;
+        }
+        let is_call = match toks.get(i + 1).map(|t| t.text(src)) {
+            Some("(") => true,
+            // Turbofish: `name::<T>(…)`.
+            Some("::") if toks.get(i + 2).is_some_and(|t| t.text(src) == "<") => {
+                let mut angle = 0i64;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    match toks[j].text(src) {
+                        "<" => angle += 1,
+                        "<<" => angle += 2,
+                        ">" => angle -= 1,
+                        ">>" => angle -= 2,
+                        _ => {}
+                    }
+                    j += 1;
+                    if angle <= 0 {
+                        break;
+                    }
+                }
+                toks.get(j).is_some_and(|t| t.text(src) == "(")
+            }
+            _ => false,
+        };
+        if !is_call {
+            continue;
+        }
+        // A type qualifier pins the callee to one impl block; lowercase
+        // qualifiers are module paths, which stay bare. `Self::` resolves
+        // to the caller's own impl type.
+        match qualifier {
+            Some("Self") => match owner {
+                Some(ty) => {
+                    out.insert(Callee::Qualified(ty.to_string(), name.to_string()));
+                }
+                None => {
+                    out.insert(Callee::Bare(name.to_string()));
+                }
+            },
+            Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                out.insert(Callee::Qualified(q.to_string(), name.to_string()));
+            }
+            _ => {
+                out.insert(Callee::Bare(name.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// One crate's worth of analyzed files, as the graph sees them.
+pub struct CrateFile<'a> {
+    /// File source.
+    pub src: &'a str,
+    /// Token stream.
+    pub lexed: &'a Lexed,
+    /// Item index.
+    pub index: &'a FileIndex,
+}
+
+/// Builds the call graph over `files` and returns both reachability
+/// sets. Test items neither propagate nor receive reachability.
+pub fn analyze(files: &[CrateFile<'_>]) -> Reachability {
+    // name -> every non-test fn with that name in the crate.
+    let mut by_name: BTreeMap<&str, Vec<FnRef>> = BTreeMap::new();
+    // (impl type, name) -> the fns of that name in that type's impls.
+    let mut by_owner: BTreeMap<(&str, &str), Vec<FnRef>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ii, item) in f.index.items.iter().enumerate() {
+            if !item.is_test {
+                by_name
+                    .entry(item.name.as_str())
+                    .or_default()
+                    .push((fi, ii));
+                if let Some(owner) = &item.owner {
+                    by_owner
+                        .entry((owner.as_str(), item.name.as_str()))
+                        .or_default()
+                        .push((fi, ii));
+                }
+            }
+        }
+    }
+
+    let mut reach = Reachability {
+        hot: files
+            .iter()
+            .map(|f| vec![false; f.index.items.len()])
+            .collect(),
+        export: files
+            .iter()
+            .map(|f| vec![false; f.index.items.len()])
+            .collect(),
+    };
+
+    let mut hot_roots = Vec::new();
+    let mut export_roots = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ii, item) in f.index.items.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            if item.hot_root {
+                hot_roots.push((fi, ii));
+            }
+            if is_export_root(&item.name) {
+                export_roots.push((fi, ii));
+            }
+        }
+    }
+
+    propagate(files, &by_name, &by_owner, hot_roots, &mut reach.hot);
+    propagate(files, &by_name, &by_owner, export_roots, &mut reach.export);
+    reach
+}
+
+fn propagate(
+    files: &[CrateFile<'_>],
+    by_name: &BTreeMap<&str, Vec<FnRef>>,
+    by_owner: &BTreeMap<(&str, &str), Vec<FnRef>>,
+    roots: Vec<FnRef>,
+    flags: &mut [Vec<bool>],
+) {
+    let mut queue: Vec<FnRef> = Vec::new();
+    for (fi, ii) in roots {
+        if !flags[fi][ii] {
+            flags[fi][ii] = true;
+            queue.push((fi, ii));
+        }
+    }
+    while let Some((fi, ii)) = queue.pop() {
+        let f = &files[fi];
+        for callee in callees(f.src, f.lexed, f.index, ii) {
+            let targets = match &callee {
+                Callee::Bare(name) => by_name.get(name.as_str()),
+                Callee::Qualified(owner, name) => by_owner.get(&(owner.as_str(), name.as_str())),
+            };
+            for &(tf, ti) in targets.into_iter().flatten() {
+                if !flags[tf][ti] {
+                    flags[tf][ti] = true;
+                    queue.push((tf, ti));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+    use crate::lexer::lex;
+
+    struct Owned {
+        src: String,
+        lexed: crate::lexer::Lexed,
+        index: FileIndex,
+    }
+
+    fn own(src: &str) -> Owned {
+        let lexed = lex(src);
+        let index = index_file(src, &lexed, false);
+        Owned {
+            src: src.to_string(),
+            lexed,
+            index,
+        }
+    }
+
+    fn reach(sources: &[&str]) -> (Vec<Owned>, Reachability) {
+        let owned: Vec<Owned> = sources.iter().map(|s| own(s)).collect();
+        let files: Vec<CrateFile<'_>> = owned
+            .iter()
+            .map(|o| CrateFile {
+                src: &o.src,
+                lexed: &o.lexed,
+                index: &o.index,
+            })
+            .collect();
+        let r = analyze(&files);
+        (owned, r)
+    }
+
+    #[test]
+    fn hot_propagates_through_direct_and_method_calls() {
+        let (owned, r) = reach(&[
+            "// lint: hot-path\nfn settle() { helper(); obj.step(); }\nfn helper() {}\nfn step() {}\nfn cold() {}\n",
+        ]);
+        let idx = &owned[0].index;
+        let pos = |n: &str| idx.items.iter().position(|i| i.name == n).expect("item");
+        assert!(r.is_hot(0, pos("settle")));
+        assert!(r.is_hot(0, pos("helper")));
+        assert!(r.is_hot(0, pos("step")));
+        assert!(!r.is_hot(0, pos("cold")));
+    }
+
+    #[test]
+    fn hot_crosses_files_within_the_crate() {
+        let (owned, r) = reach(&[
+            "// lint: hot-path\nfn root() { shared(); }\n",
+            "fn shared() { leaf(); }\nfn leaf() {}\n",
+        ]);
+        let idx1 = &owned[1].index;
+        let pos = |n: &str| idx1.items.iter().position(|i| i.name == n).expect("item");
+        assert!(r.is_hot(1, pos("shared")));
+        assert!(r.is_hot(1, pos("leaf")));
+    }
+
+    #[test]
+    fn test_functions_do_not_catch_reachability() {
+        let (owned, r) = reach(&[
+            "// lint: hot-path\nfn root() { helper(); }\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn helper() {}\n",
+        ]);
+        let idx = &owned[0].index;
+        for (ii, item) in idx.items.iter().enumerate() {
+            if item.name == "helper" && item.is_test {
+                assert!(!r.is_hot(0, ii), "test helper must stay cold");
+            }
+            if item.name == "helper" && !item.is_test {
+                assert!(r.is_hot(0, ii));
+            }
+        }
+    }
+
+    #[test]
+    fn export_roots_are_detected_by_name() {
+        assert!(is_export_root("render_json"));
+        assert!(is_export_root("metrics_snapshot"));
+        assert!(is_export_root("emit_engine_observability"));
+        assert!(!is_export_root("settle_flow"));
+    }
+
+    #[test]
+    fn turbofish_counts_as_a_call() {
+        let (owned, r) =
+            reach(&["// lint: hot-path\nfn root() { let _ = gather::<u32>(); }\nfn gather() {}\n"]);
+        let idx = &owned[0].index;
+        let pos = |n: &str| idx.items.iter().position(|i| i.name == n).expect("item");
+        assert!(r.is_hot(0, pos("gather")));
+    }
+}

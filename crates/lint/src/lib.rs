@@ -1,71 +1,114 @@
-//! # datagrid-lint
+//! # datagrid-lint v2
 //!
-//! Source conformance scanner for the datagrid workspace. The simulation
-//! makes determinism and no-panic promises that `rustc` cannot check for
-//! us, so this crate encodes them as a handful of mechanical rules and
-//! walks `crates/*/src` enforcing each one:
+//! Token-level static analyzer for the datagrid workspace. The
+//! simulation makes determinism and allocation promises that `rustc`
+//! cannot check; v1 encoded them as per-line pattern rules, and v2 grows
+//! that into a real (still dependency-free) analysis pipeline:
+//!
+//! ```text
+//! lexer  →  item index  →  call graph  →  rules  →  allowlists  →  baseline
+//! (spans)   (fns, cfg(test),  (hot-path /    (token    (inline + file)  (ratchet)
+//!            directives)       export reach)  patterns)
+//! ```
 //!
 //! | rule | what it denies | where |
 //! |---|---|---|
-//! | `no-unwrap` | `.unwrap()` outside test code | library code |
-//! | `no-expect` | `.expect(` outside test code | library code |
+//! | `no-unwrap` / `no-expect` | `.unwrap()` / `.expect(…)` | library code |
 //! | `no-panic` | `panic!` / `unreachable!` / `todo!` / `unimplemented!` | library code |
 //! | `no-wallclock` | `Instant::now` / `SystemTime::now` | simulation crates |
-//! | `no-hashmap-export` | `HashMap` (iteration order leaks into artifacts) | export/report paths |
-//! | `no-println` | `println!` / `eprintln!` / `print!` / `dbg!` | library crates |
-//! | `forbid-unsafe` | a crate root missing `#![forbid(unsafe_code)]` | every library crate |
-//! | `stale-allow` | an allowlist entry that no longer matches anything | `lint-allow.txt` |
+//! | `no-hashmap-export` | `HashMap` anywhere | export crates (`obs`) |
+//! | `hash-iter-export` | `HashMap`/`HashSet` reachable from a render/export root | every crate |
+//! | `no-println` | console macros | library crates |
+//! | `forbid-unsafe` | crate root missing `#![forbid(unsafe_code)]` | every crate |
+//! | `alloc-in-hot-path` | allocation constructs reachable from a `// lint: hot-path` root | every crate |
+//! | `float-eq` | `==`/`!=` against float literals | outside sanctioned modules |
+//! | `cast-narrowing` | `<id-ish> as <narrower int>` | every crate |
+//! | `wildcard-match` | `_ =>` over model-checked event/state enums | every crate |
+//! | `stale-allow` / `stale-baseline` / `stale-inline-allow` / `stale-directive` / `bad-directive` | suppressions or annotations that no longer bite | hygiene |
 //!
-//! The scanner is deliberately a line-level state machine, not a parser:
-//! it tracks `#[cfg(test)]` blocks by brace depth, strips string literals
-//! and comments before matching, and treats everything under `src/bin/`
-//! as an executable entry point (exempt from the library-only rules).
-//! Audited exceptions live in `lint-allow.txt` at the workspace root, one
-//! `<rule-id> <path> -- <reason>` per line; entries that stop matching
-//! are themselves reported so the allowlist can only shrink.
+//! Suppression layers, from narrowest to widest:
 //!
-//! By default findings are advisory (exit 0). `--deny-all` turns any
-//! finding into a non-zero exit for CI.
+//! 1. `// lint: allow(<rule>) -- <reason>` on the offending line (or the
+//!    line above) — site-level, audited, reported when stale.
+//! 2. `lint-allow.txt` `<rule> <path> -- <reason>` — file-level, audited,
+//!    reported when stale.
+//! 3. `ci/lint_baseline.json` — fingerprinted legacy debt; new findings
+//!    fail `--deny`, entries matching nothing fail as `stale-baseline`,
+//!    so the baseline can only shrink.
+//!
+//! Findings export as machine-readable JSON ([`render_findings_json`])
+//! with severities and stable fingerprints (see [`baseline`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod index;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose clocks must come from the simulation, never the host.
-/// `testbed` and `bench` drive real experiment harnesses and may time
-/// themselves with `Instant::now`; everything else may not.
-const SIMULATION_CRATES: [&str; 6] = ["simnet", "sysmon", "gridftp", "catalog", "core", "obs"];
+pub use rules::Config;
 
-/// Crates whose artifacts (JSONL event dumps, audit exports, metric
-/// snapshots) must not depend on `HashMap` iteration order.
-const EXPORT_CRATES: [&str; 1] = ["obs"];
+/// Finding severity, carried in the JSON artifact. The `--deny` gate
+/// fails on any unbaselined finding regardless of severity; severity
+/// tells a human which to burn down first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violates a hard invariant (determinism, no-panic, hot-path purity).
+    Error,
+    /// Suspicious but sometimes legitimate (narrowing casts, wildcards).
+    Warning,
+}
 
-/// Crates whose purpose is console reporting; exempt from `no-println`.
-const CONSOLE_CRATES: [&str; 2] = ["bench", "lint"];
+impl Severity {
+    /// Lowercase name for JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
 
-/// One rule violation at a specific source line.
+fn severity_of(rule: &str) -> Severity {
+    match rule {
+        "cast-narrowing" | "wildcard-match" => Severity::Warning,
+        _ => Severity::Error,
+    }
+}
+
+/// One rule violation at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule identifier, e.g. `no-unwrap`.
+    /// Stable rule identifier, e.g. `alloc-in-hot-path`.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
     /// 1-based line number (0 for whole-file findings).
     pub line: usize,
+    /// Enclosing function name, or `file` outside any function.
+    pub scope: String,
+    /// Severity class.
+    pub severity: Severity,
     /// What was matched, trimmed for display.
     pub excerpt: String,
+    /// Stable fingerprint (see [`baseline::fingerprint`]).
+    pub fingerprint: String,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.excerpt
+            "{}:{}: [{}] ({}) {}",
+            self.path, self.line, self.rule, self.scope, self.excerpt
         )
     }
 }
@@ -86,22 +129,33 @@ pub struct AllowEntry {
 /// Scanner outcome: surviving findings plus walk statistics.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Findings not covered by the allowlist (includes stale entries).
+    /// Unallowed, unbaselined findings (the `--deny` gate) plus all
+    /// hygiene findings (stale allows/baseline entries/directives).
     pub findings: Vec<Finding>,
-    /// Findings suppressed by allowlist entries.
+    /// Findings tolerated by the fingerprint baseline.
+    pub baselined: Vec<Finding>,
+    /// Findings suppressed by inline or file-level allowlists.
     pub allowed: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
-    /// True when the tree conforms (nothing to report).
+    /// True when the tree conforms (nothing unbaselined to report).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
 }
 
-/// Errors from walking the workspace or parsing the allowlist.
+/// Analyzer options beyond the built-in [`Config`].
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Baseline file path. `None` uses `<root>/ci/lint_baseline.json`
+    /// when present, else an empty baseline.
+    pub baseline_path: Option<PathBuf>,
+}
+
+/// Errors from walking the workspace or parsing support files.
 #[derive(Debug)]
 pub enum LintError {
     /// The workspace root did not look like this repository.
@@ -113,6 +167,8 @@ pub enum LintError {
         /// The offending text.
         text: String,
     },
+    /// The baseline file did not parse.
+    BadBaseline(String),
     /// Filesystem failure, with the path that caused it.
     Io(PathBuf, std::io::Error),
 }
@@ -127,57 +183,13 @@ impl fmt::Display for LintError {
                 f,
                 "lint-allow.txt:{line}: expected `<rule> <path> -- <reason>`, got `{text}`"
             ),
+            LintError::BadBaseline(msg) => write!(f, "{msg}"),
             LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
         }
     }
 }
 
 impl std::error::Error for LintError {}
-
-/// Strips string literals, char literals and `//` comments from one line
-/// so rule patterns never match inside text. Raw strings longer than one
-/// line are rare in this workspace and covered by the allowlist escape
-/// hatch rather than extra scanner state.
-pub fn sanitize_line(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    chars.next();
-                }
-                '"' => in_str = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_str = true,
-            '\'' => {
-                // Char literal: consume up to the closing quote. Lifetimes
-                // (`'a`) have no closing quote within a few chars; bail out
-                // and keep the tick so generics still read through.
-                let lookahead: String = chars.clone().take(3).collect();
-                if let Some(end) = lookahead.find('\'') {
-                    for _ in 0..=end {
-                        chars.next();
-                    }
-                } else if lookahead.starts_with('\\') {
-                    chars.next();
-                    chars.next();
-                    chars.next();
-                } else {
-                    out.push(c);
-                }
-            }
-            '/' if chars.peek() == Some(&'/') => break,
-            _ => out.push(c),
-        }
-    }
-    out
-}
 
 /// True when the whole file is test code by location or naming, so every
 /// line is exempt from the library rules.
@@ -192,119 +204,20 @@ fn is_bin_file(rel_path: &str) -> bool {
     rel_path.contains("/src/bin/") || rel_path.ends_with("/main.rs")
 }
 
-/// Scans one file's source. `crate_name` is the directory under
-/// `crates/`; `rel_path` is workspace-relative with forward slashes.
-pub fn scan_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    if is_test_file(rel_path) {
-        return findings;
-    }
-    let bin = is_bin_file(rel_path);
-    let simulation = SIMULATION_CRATES.contains(&crate_name);
-    let export = EXPORT_CRATES.contains(&crate_name);
-    let console = CONSOLE_CRATES.contains(&crate_name);
-
-    // `#[cfg(test)]` block tracking: once the attribute is seen, the next
-    // item's braces are counted until the block closes.
-    let mut pending_test_attr = false;
-    let mut in_test = false;
-    let mut test_depth: i64 = 0;
-
-    for (idx, raw) in source.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        let code = sanitize_line(raw);
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-
-        if in_test {
-            test_depth += opens - closes;
-            if test_depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-        if code.contains("#[cfg(test)]") {
-            if opens > closes {
-                // `#[cfg(test)] mod tests {` on one line.
-                in_test = true;
-                test_depth = opens - closes;
-            } else {
-                pending_test_attr = true;
-            }
-            continue;
-        }
-        if pending_test_attr {
-            if code.trim().is_empty() || code.trim_start().starts_with("#[") {
-                continue; // more attributes between cfg(test) and the item
-            }
-            pending_test_attr = false;
-            if opens > closes {
-                in_test = true;
-                test_depth = opens - closes;
-                continue;
-            }
-            // `#[cfg(test)] mod tests;` — the out-of-line file is exempt
-            // via its own path, nothing to track here.
-            continue;
-        }
-
-        let mut push = |rule: &'static str| {
-            findings.push(Finding {
-                rule,
-                path: rel_path.to_string(),
-                line: line_no,
-                excerpt: raw.trim().chars().take(96).collect(),
-            });
-        };
-
-        if !bin {
-            if code.contains(".unwrap()") {
-                push("no-unwrap");
-            }
-            if code.contains(".expect(") {
-                push("no-expect");
-            }
-            if code.contains("panic!(")
-                || code.contains("unreachable!(")
-                || code.contains("todo!(")
-                || code.contains("unimplemented!(")
-            {
-                push("no-panic");
-            }
-        }
-        if simulation && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
-            push("no-wallclock");
-        }
-        if export && code.contains("HashMap") {
-            push("no-hashmap-export");
-        }
-        if !bin
-            && !console
-            && (code.contains("println!(")
-                || code.contains("eprintln!(")
-                || code.contains("print!(")
-                || code.contains("dbg!("))
-        {
-            push("no-println");
-        }
-    }
-    findings
-}
-
 /// Checks a crate root for the `#![forbid(unsafe_code)]` attribute.
 pub fn check_forbid_unsafe(rel_path: &str, source: &str) -> Option<Finding> {
     if source.contains("#![forbid(unsafe_code)]") {
         None
     } else {
+        let excerpt = "crate root is missing #![forbid(unsafe_code)]".to_string();
         Some(Finding {
             rule: "forbid-unsafe",
             path: rel_path.to_string(),
             line: 0,
-            excerpt: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            scope: "file".to_string(),
+            severity: Severity::Error,
+            excerpt: excerpt.clone(),
+            fingerprint: baseline::fingerprint("forbid-unsafe", rel_path, "file", &excerpt, 0),
         })
     }
 }
@@ -337,6 +250,189 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
     Ok(entries)
 }
 
+/// One analyzed source file, kept so the crate-level call graph can see
+/// all files at once.
+struct AnalyzedFile {
+    rel: String,
+    source: String,
+    lexed: lexer::Lexed,
+    index: index::FileIndex,
+    is_bin: bool,
+    is_lib_root: bool,
+}
+
+/// Scans one file in isolation (intra-file call graph only). The
+/// fixture tests and one-off checks use this; [`run_with`] uses the
+/// crate-level path below.
+pub fn scan_standalone(
+    cfg: &Config,
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let idx = index::index_file(source, &lexed, is_test_file(rel_path));
+    let files = [callgraph::CrateFile {
+        src: source,
+        lexed: &lexed,
+        index: &idx,
+    }];
+    let reach = callgraph::analyze(&files);
+    let file = AnalyzedFile {
+        rel: rel_path.to_string(),
+        source: source.to_string(),
+        lexed,
+        index: idx,
+        is_bin: is_bin_file(rel_path),
+        is_lib_root: rel_path.ends_with("/lib.rs"),
+    };
+    let (mut findings, allowed) =
+        assemble_file_findings(cfg, crate_name, &file, &reach.hot[0], &reach.export[0]);
+    let _ = allowed;
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Runs rules over one analyzed file and applies the *inline* allow
+/// layer. Returns (surviving findings, inline-allowed count).
+fn assemble_file_findings(
+    cfg: &Config,
+    crate_name: &str,
+    file: &AnalyzedFile,
+    hot: &[bool],
+    export: &[bool],
+) -> (Vec<Finding>, usize) {
+    let ctx = rules::FileContext {
+        cfg,
+        crate_name,
+        rel_path: &file.rel,
+        src: &file.source,
+        lexed: &file.lexed,
+        index: &file.index,
+        hot,
+        export,
+        is_bin: file.is_bin,
+    };
+    let raw = rules::scan_file(&ctx);
+    let lines: Vec<&str> = file.source.lines().collect();
+
+    // Assemble findings with fingerprints. Ordinals count duplicates of
+    // (rule, scope, normalized excerpt) within the file, in source
+    // order, so fingerprints survive unrelated churn.
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for rf in &raw {
+        let excerpt: String = lines
+            .get(rf.line.saturating_sub(1) as usize)
+            .map(|l| l.trim().chars().take(96).collect())
+            .unwrap_or_default();
+        let scope = rf
+            .token
+            .and_then(|t| file.index.enclosing_item(t))
+            .map(|i| file.index.items[i].name.clone())
+            .unwrap_or_else(|| "file".to_string());
+        let norm = baseline::normalize_excerpt(&excerpt);
+        let key = format!("{}\u{1f}{}\u{1f}{}", rf.rule, scope, norm);
+        let ordinal = match seen.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                seen.push((key, 0));
+                0
+            }
+        };
+        findings.push(Finding {
+            rule: rf.rule,
+            path: file.rel.clone(),
+            line: rf.line as usize,
+            scope: scope.clone(),
+            severity: severity_of(rf.rule),
+            excerpt,
+            fingerprint: baseline::fingerprint(rf.rule, &file.rel, &scope, &norm, ordinal),
+        });
+    }
+
+    // Crate-root unsafe check.
+    if file.is_lib_root {
+        findings.extend(check_forbid_unsafe(&file.rel, &file.source));
+    }
+
+    // Directive hygiene.
+    for (line, body) in &file.index.bad_directives {
+        let excerpt = format!("unparseable directive `lint: {body}`");
+        findings.push(Finding {
+            rule: "bad-directive",
+            path: file.rel.clone(),
+            line: *line as usize,
+            scope: "file".to_string(),
+            severity: Severity::Error,
+            fingerprint: baseline::fingerprint("bad-directive", &file.rel, "file", &excerpt, 0),
+            excerpt,
+        });
+    }
+    for line in &file.index.stale_hot {
+        let excerpt = "`lint: hot-path` attaches to no function — move or delete it".to_string();
+        findings.push(Finding {
+            rule: "stale-directive",
+            path: file.rel.clone(),
+            line: *line as usize,
+            scope: "file".to_string(),
+            severity: Severity::Error,
+            fingerprint: baseline::fingerprint(
+                "stale-directive",
+                &file.rel,
+                "file",
+                &excerpt,
+                *line as usize,
+            ),
+            excerpt,
+        });
+    }
+
+    // Inline allow layer: `// lint: allow(rule) -- reason` suppresses
+    // the rule on its own line (trailing comment) or the next line
+    // (directive above).
+    let mut used = vec![false; file.index.allows.len()];
+    let mut allowed = 0usize;
+    findings.retain(|f| {
+        for (ai, allow) in file.index.allows.iter().enumerate() {
+            let l = allow.line as usize;
+            if allow.rule == f.rule && (f.line == l || f.line == l + 1) {
+                used[ai] = true;
+                allowed += 1;
+                return false;
+            }
+        }
+        true
+    });
+    for (ai, allow) in file.index.allows.iter().enumerate() {
+        if !used[ai] {
+            let excerpt = format!(
+                "inline allow for `{}` suppresses nothing — delete it",
+                allow.rule
+            );
+            findings.push(Finding {
+                rule: "stale-inline-allow",
+                path: file.rel.clone(),
+                line: allow.line as usize,
+                scope: "file".to_string(),
+                severity: Severity::Error,
+                fingerprint: baseline::fingerprint(
+                    "stale-inline-allow",
+                    &file.rel,
+                    "file",
+                    &excerpt,
+                    allow.line as usize,
+                ),
+                excerpt,
+            });
+        }
+    }
+    (findings, allowed)
+}
+
 fn read(path: &Path) -> Result<String, LintError> {
     fs::read_to_string(path).map_err(|e| LintError::Io(path.to_path_buf(), e))
 }
@@ -355,9 +451,16 @@ fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError>
     Ok(())
 }
 
-/// Walks `crates/*/src` under `root`, applies every rule, subtracts the
-/// allowlist and reports stale entries.
+/// Walks `crates/*/src` under `root` with default options.
 pub fn run(root: &Path) -> Result<Report, LintError> {
+    run_with(root, &Options::default())
+}
+
+/// Walks `crates/*/src` under `root`, applies every rule per crate
+/// (lexer → index → call graph → rules), subtracts the three allow
+/// layers, and reports stale entries at every layer.
+pub fn run_with(root: &Path, opts: &Options) -> Result<Report, LintError> {
+    let cfg = Config::default();
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(LintError::BadRoot(root.to_path_buf()));
@@ -383,6 +486,9 @@ pub fn run(root: &Path) -> Result<Report, LintError> {
         let mut files = Vec::new();
         rust_files_under(&src, &mut files)?;
         files.sort();
+
+        // Analyze every file up front so the call graph sees the crate.
+        let mut analyzed: Vec<AnalyzedFile> = Vec::with_capacity(files.len());
         for file in &files {
             let rel = file
                 .strip_prefix(root)
@@ -391,21 +497,43 @@ pub fn run(root: &Path) -> Result<Report, LintError> {
                 .replace('\\', "/");
             let source = read(file)?;
             report.files_scanned += 1;
-            findings.extend(scan_source(&crate_name, &rel, &source));
-            if rel.ends_with("/lib.rs") {
-                findings.extend(check_forbid_unsafe(&rel, &source));
-            }
+            let lexed = lexer::lex(&source);
+            let idx = index::index_file(&source, &lexed, is_test_file(&rel));
+            analyzed.push(AnalyzedFile {
+                is_bin: is_bin_file(&rel),
+                is_lib_root: rel.ends_with("/lib.rs"),
+                rel,
+                source,
+                lexed,
+                index: idx,
+            });
+        }
+        let crate_files: Vec<callgraph::CrateFile<'_>> = analyzed
+            .iter()
+            .map(|f| callgraph::CrateFile {
+                src: &f.source,
+                lexed: &f.lexed,
+                index: &f.index,
+            })
+            .collect();
+        let reach = callgraph::analyze(&crate_files);
+        for (fi, file) in analyzed.iter().enumerate() {
+            let (file_findings, inline_allowed) =
+                assemble_file_findings(&cfg, &crate_name, file, &reach.hot[fi], &reach.export[fi]);
+            report.allowed += inline_allowed;
+            findings.extend(file_findings);
         }
     }
 
+    // File-level allowlist.
     let allow_path = root.join("lint-allow.txt");
     let allow = if allow_path.is_file() {
         parse_allowlist(&read(&allow_path)?)?
     } else {
         Vec::new()
     };
-
     let mut used = vec![false; allow.len()];
+    let mut unallowed = Vec::new();
     for finding in findings {
         let covered = allow
             .iter()
@@ -415,26 +543,156 @@ pub fn run(root: &Path) -> Result<Report, LintError> {
                 used[i] = true;
                 report.allowed += 1;
             }
-            None => report.findings.push(finding),
+            None => unallowed.push(finding),
         }
     }
     for (entry, used) in allow.iter().zip(&used) {
         if !used {
-            report.findings.push(Finding {
+            let excerpt = format!(
+                "entry `{} {}` no longer matches any finding — delete it",
+                entry.rule, entry.path
+            );
+            unallowed.push(Finding {
                 rule: "stale-allow",
                 path: "lint-allow.txt".to_string(),
                 line: entry.line,
-                excerpt: format!(
-                    "entry `{} {}` no longer matches any finding — delete it",
-                    entry.rule, entry.path
+                scope: "file".to_string(),
+                severity: Severity::Error,
+                fingerprint: baseline::fingerprint(
+                    "stale-allow",
+                    "lint-allow.txt",
+                    "file",
+                    &excerpt,
+                    entry.line,
                 ),
+                excerpt,
             });
         }
     }
+
+    // Fingerprint baseline (the ratchet).
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("ci").join("lint_baseline.json"));
+    let base = if baseline_path.is_file() {
+        baseline::parse(&read(&baseline_path)?).map_err(LintError::BadBaseline)?
+    } else {
+        baseline::Baseline::default()
+    };
+    let mut matched = vec![false; base.entries.len()];
+    for finding in unallowed {
+        let hit = base
+            .entries
+            .iter()
+            .position(|e| e.fingerprint == finding.fingerprint);
+        match hit {
+            Some(i) => {
+                matched[i] = true;
+                report.baselined.push(finding);
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (entry, matched) in base.entries.iter().zip(&matched) {
+        if !matched {
+            let excerpt = format!(
+                "baseline entry `{}` ({} {}) matches no finding — the ratchet only shrinks: delete it",
+                entry.fingerprint, entry.rule, entry.path
+            );
+            report.findings.push(Finding {
+                rule: "stale-baseline",
+                path: "ci/lint_baseline.json".to_string(),
+                line: 0,
+                scope: "file".to_string(),
+                severity: Severity::Error,
+                fingerprint: baseline::fingerprint(
+                    "stale-baseline",
+                    "ci/lint_baseline.json",
+                    "file",
+                    &excerpt,
+                    0,
+                ),
+                excerpt,
+            });
+        }
+    }
+
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+        .baselined
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(report)
+}
+
+/// Renders the machine-readable findings artifact: every finding (new
+/// and baselined) with rule, severity, location, scope and fingerprint.
+pub fn render_findings_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"datagrid-lint\",\n");
+    out.push_str("  \"version\": 2,\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"allowed\": {},\n",
+        report.files_scanned, report.allowed
+    ));
+    out.push_str("  \"findings\": [");
+    let mut first = true;
+    let mut emit = |f: &Finding, status: &str, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"severity\": \"{}\", \"status\": \"{}\", \"path\": \"{}\", \"line\": {}, \"scope\": \"{}\", \"excerpt\": \"{}\"}}",
+            json::escape(&f.fingerprint),
+            json::escape(f.rule),
+            f.severity.as_str(),
+            status,
+            json::escape(&f.path),
+            f.line,
+            json::escape(&f.scope),
+            json::escape(&f.excerpt),
+        ));
+    };
+    for f in &report.findings {
+        emit(f, "new", &mut out);
+    }
+    for f in &report.baselined {
+        emit(f, "baselined", &mut out);
+    }
+    if !report.findings.is_empty() || !report.baselined.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"new\": {}, \"baselined\": {}}}\n}}\n",
+        report.findings.len(),
+        report.baselined.len()
+    ));
+    out
+}
+
+/// Renders the current unallowed findings as a baseline document
+/// (`--write-baseline`).
+pub fn render_baseline(report: &Report) -> String {
+    let entries: Vec<baseline::BaselineEntry> = report
+        .findings
+        .iter()
+        .chain(report.baselined.iter())
+        .filter(|f| {
+            f.rule != "stale-baseline" && f.rule != "stale-allow" && f.rule != "stale-inline-allow"
+        })
+        .map(|f| baseline::BaselineEntry {
+            fingerprint: f.fingerprint.clone(),
+            rule: f.rule.to_string(),
+            path: f.path.clone(),
+            note: format!("line {} ({})", f.line, f.scope),
+        })
+        .collect();
+    baseline::render(&entries)
 }
 
 #[cfg(test)]
@@ -442,80 +700,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sanitizer_strips_strings_and_comments() {
-        assert_eq!(
-            sanitize_line(r#"let x = "panic!()"; // .unwrap()"#),
-            "let x = ; "
-        );
-        assert_eq!(
-            sanitize_line(r#"let c = '"'; x.unwrap()"#),
-            "let c = ; x.unwrap()"
-        );
-        assert_eq!(
-            sanitize_line("fn f<'a>(x: &'a str)"),
-            "fn f<'a>(x: &'a str)"
-        );
-    }
-
-    #[test]
-    fn unwrap_outside_tests_is_flagged_inside_tests_is_not() {
-        let src = "fn f() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn g() { y.unwrap(); z.expect(\"boom\"); }\n\
-                   }\n\
-                   fn h() { w.expect(\"msg\"); }\n";
-        let found = scan_source("core", "crates/core/src/x.rs", src);
+    fn standalone_scan_matches_v1_semantics() {
+        let cfg = Config::default();
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); z.expect(\"boom\"); }\n}\nfn h() { w.expect(\"msg\"); }\n";
+        let found = scan_standalone(&cfg, "core", "crates/core/src/x.rs", src);
         let rules: Vec<_> = found.iter().map(|f| (f.rule, f.line)).collect();
         assert_eq!(rules, vec![("no-unwrap", 1), ("no-expect", 6)]);
+        assert_eq!(found[0].scope, "f");
+        assert_eq!(found[1].scope, "h");
     }
 
     #[test]
-    fn cfg_test_on_one_line_and_with_extra_attributes() {
-        let src = "#[cfg(test)] mod tests { fn f() { x.unwrap(); } }\n\
-                   #[cfg(test)]\n\
-                   #[allow(dead_code)]\n\
-                   mod more {\n\
-                       fn g() { panic!(\"ok in tests\"); }\n\
-                   }\n\
-                   fn live() { panic!(\"caught\"); }\n";
-        let found = scan_source("core", "crates/core/src/y.rs", src);
+    fn inline_allow_suppresses_and_goes_stale() {
+        let cfg = Config::default();
+        let src = "fn f() { x.expect(\"invariant\"); } // lint: allow(no-expect) -- audited: module invariant\n";
+        assert!(scan_standalone(&cfg, "core", "crates/core/src/x.rs", src).is_empty());
+
+        let above = "// lint: allow(no-expect) -- audited: module invariant\nfn f() { x.expect(\"invariant\"); }\n";
+        assert!(scan_standalone(&cfg, "core", "crates/core/src/x.rs", above).is_empty());
+
+        let stale = "// lint: allow(no-expect) -- nothing here\nfn f() { let _ = 1; }\n";
+        let found = scan_standalone(&cfg, "core", "crates/core/src/x.rs", stale);
         assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, "no-panic");
-        assert_eq!(found[0].line, 7);
-    }
-
-    #[test]
-    fn wallclock_scoping_follows_the_crate() {
-        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
-        assert_eq!(
-            scan_source("simnet", "crates/simnet/src/a.rs", src).len(),
-            1
-        );
-        assert!(scan_source("testbed", "crates/testbed/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn bins_and_console_crates_are_exempt_where_documented() {
-        let src = "fn main() { println!(\"report\"); cfg.unwrap(); }\n";
-        assert!(scan_source("testbed", "crates/testbed/src/bin/run.rs", src).is_empty());
-        let lib = scan_source("testbed", "crates/testbed/src/lib.rs", src);
-        assert!(lib.iter().any(|f| f.rule == "no-println"));
-        assert!(scan_source("bench", "crates/bench/src/lib.rs", "println!(\"x\");\n").is_empty());
-    }
-
-    #[test]
-    fn hashmap_is_denied_only_on_export_paths() {
-        let src = "use std::collections::HashMap;\n";
-        assert_eq!(scan_source("obs", "crates/obs/src/event.rs", src).len(), 1);
-        assert!(scan_source("simnet", "crates/simnet/src/engine.rs", src).is_empty());
+        assert_eq!(found[0].rule, "stale-inline-allow");
     }
 
     #[test]
     fn forbid_unsafe_check() {
         assert!(check_forbid_unsafe("crates/a/src/lib.rs", "#![forbid(unsafe_code)]\n").is_none());
-        let f = check_forbid_unsafe("crates/a/src/lib.rs", "pub mod x;\n").unwrap();
+        let f = check_forbid_unsafe("crates/a/src/lib.rs", "pub mod x;\n").expect("finding");
         assert_eq!(f.rule, "forbid-unsafe");
+        assert_eq!(f.line, 0);
     }
 
     #[test]
@@ -524,10 +739,46 @@ mod tests {
             "# audited exceptions\n\
              no-panic crates/simnet/src/engine.rs -- documented # Panics contract\n",
         )
-        .unwrap();
+        .expect("parses");
         assert_eq!(ok.len(), 1);
         assert_eq!(ok[0].rule, "no-panic");
         assert!(parse_allowlist("no-panic crates/x.rs\n").is_err());
         assert!(parse_allowlist("no-panic -- why\n").is_err());
+    }
+
+    #[test]
+    fn findings_json_is_valid_and_carries_fingerprints() {
+        let cfg = Config::default();
+        let src = "fn f() { x.unwrap(); }\n";
+        let findings = scan_standalone(&cfg, "core", "crates/core/src/x.rs", src);
+        let report = Report {
+            findings,
+            ..Report::default()
+        };
+        let text = render_findings_json(&report);
+        let doc = json::parse(&text).expect("valid JSON");
+        let arr = doc
+            .get("findings")
+            .and_then(json::Json::as_arr)
+            .expect("arr");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("rule").and_then(json::Json::as_str),
+            Some("no-unwrap")
+        );
+        let fp = arr[0]
+            .get("fingerprint")
+            .and_then(json::Json::as_str)
+            .expect("fp");
+        assert_eq!(fp.len(), 16);
+    }
+
+    #[test]
+    fn bin_files_are_exempt_from_library_rules() {
+        let cfg = Config::default();
+        let src = "fn main() { println!(\"report\"); cfg.unwrap(); }\n";
+        assert!(scan_standalone(&cfg, "testbed", "crates/testbed/src/bin/run.rs", src).is_empty());
+        let lib = scan_standalone(&cfg, "testbed", "crates/testbed/src/lib.rs", src);
+        assert!(lib.iter().any(|f| f.rule == "no-println"));
     }
 }

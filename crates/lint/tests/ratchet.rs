@@ -1,0 +1,140 @@
+//! End-to-end proof that the baseline is a one-way ratchet. A synthetic
+//! workspace gets an injected hot-path allocation; the run must fail
+//! with no baseline, pass once the finding is baselined, fail again the
+//! moment a *new* finding appears, and fail when the baseline holds an
+//! entry that matches nothing (entries may only be removed).
+
+use datagrid_lint::{render_baseline, run_with, Options};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "datagrid-lint-ratchet-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir");
+        fs::create_dir_all(root.join("ci")).expect("mkdir ci");
+        TempWorkspace { root }
+    }
+
+    fn write_lib(&self, source: &str) {
+        fs::write(self.root.join("crates/demo/src/lib.rs"), source).expect("write lib.rs");
+    }
+
+    fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const HOT_ALLOC: &str = "#![forbid(unsafe_code)]\n\
+    // lint: hot-path\n\
+    fn dispatch() { build(); }\n\
+    fn build() { let _v: Vec<u8> = Vec::with_capacity(8); }\n";
+
+#[test]
+fn ratchet_trips_on_injected_finding_and_only_shrinks() {
+    let ws = TempWorkspace::new("trip");
+    ws.write_lib(HOT_ALLOC);
+    let opts = Options::default();
+
+    // 1. No baseline: the injected allocation is a new finding.
+    let report = run_with(ws.root(), &opts).expect("walks");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "alloc-in-hot-path"),
+        "injected allocation not found: {:?}",
+        report.findings
+    );
+    assert!(!report.is_clean());
+
+    // 2. Baseline the current state: the same run is now clean, with the
+    //    finding accounted as baselined debt.
+    let baseline_path = ws.root().join("ci/lint_baseline.json");
+    fs::write(&baseline_path, render_baseline(&report)).expect("write baseline");
+    let report = run_with(ws.root(), &opts).expect("walks");
+    assert!(
+        report.is_clean(),
+        "baselined run not clean: {:?}",
+        report.findings
+    );
+    assert_eq!(report.baselined.len(), 1);
+
+    // 3. Inject a second allocation: its fingerprint is not in the
+    //    baseline, so the ratchet trips again.
+    ws.write_lib(&format!(
+        "{HOT_ALLOC}fn extra() {{ let _s = String::with_capacity(4); }}\n\
+         // lint: hot-path\n\
+         fn dispatch2() {{ extra(); }}\n"
+    ));
+    let report = run_with(ws.root(), &opts).expect("walks");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "alloc-in-hot-path" && f.scope == "extra"),
+        "new finding did not trip the ratchet: {:?}",
+        report.findings
+    );
+    assert_eq!(report.baselined.len(), 1, "old finding stays baselined");
+}
+
+#[test]
+fn stale_baseline_entries_fail_the_run() {
+    let ws = TempWorkspace::new("stale");
+    // A clean workspace with a baseline entry that matches nothing.
+    ws.write_lib("#![forbid(unsafe_code)]\nfn quiet() {}\n");
+    fs::write(
+        ws.root().join("ci/lint_baseline.json"),
+        "{\"version\": 2, \"findings\": [\
+            {\"fingerprint\": \"00000000deadbeef\", \"rule\": \"float-eq\", \"path\": \"crates/demo/src/lib.rs\", \"note\": \"gone\"}\
+        ]}\n",
+    )
+    .expect("write baseline");
+    let report = run_with(ws.root(), &Options::default()).expect("walks");
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "stale-baseline")
+        .collect();
+    assert_eq!(stale.len(), 1, "got: {:?}", report.findings);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn malformed_baseline_is_a_hard_error() {
+    let ws = TempWorkspace::new("malformed");
+    ws.write_lib("#![forbid(unsafe_code)]\nfn quiet() {}\n");
+    fs::write(ws.root().join("ci/lint_baseline.json"), "{not json").expect("write");
+    assert!(run_with(ws.root(), &Options::default()).is_err());
+}
+
+#[test]
+fn baseline_path_override_is_honoured() {
+    let ws = TempWorkspace::new("override");
+    ws.write_lib(HOT_ALLOC);
+    let report = run_with(ws.root(), &Options::default()).expect("walks");
+    assert!(!report.is_clean());
+
+    let alt = ws.root().join("alt_baseline.json");
+    fs::write(&alt, render_baseline(&report)).expect("write alt baseline");
+    let opts = Options {
+        baseline_path: Some(alt),
+    };
+    let report = run_with(ws.root(), &opts).expect("walks");
+    assert!(report.is_clean(), "got: {:?}", report.findings);
+}

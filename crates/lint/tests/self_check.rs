@@ -14,7 +14,9 @@ fn workspace_root() -> &'static Path {
 
 #[test]
 fn workspace_is_lint_clean() {
+    let started = std::time::Instant::now();
     let report = datagrid_lint::run(workspace_root()).expect("workspace walks cleanly");
+    let elapsed = started.elapsed();
     assert!(
         report.files_scanned > 50,
         "suspiciously few files scanned ({}): wrong root?",
@@ -23,9 +25,52 @@ fn workspace_is_lint_clean() {
     let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
     assert!(
         report.is_clean(),
-        "datagrid-lint found {} violation(s):\n{}",
+        "datagrid-lint found {} unbaselined violation(s):\n{}",
         rendered.len(),
         rendered.join("\n")
+    );
+    // The analyzer gates every CI run; keep it interactive-fast. The
+    // acceptance budget is ~2s — assert with debug-build headroom.
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "lint walk took {elapsed:?}, budget is 2s"
+    );
+}
+
+#[test]
+fn baseline_only_holds_fingerprints_that_still_match() {
+    // `run` already fails on stale baseline entries; this pins the
+    // accounting: every baselined finding corresponds to exactly one
+    // live fingerprint and nothing is double-counted.
+    let report = datagrid_lint::run(workspace_root()).expect("workspace walks cleanly");
+    let text = std::fs::read_to_string(workspace_root().join("ci/lint_baseline.json"))
+        .expect("baseline file exists");
+    let baseline = datagrid_lint::baseline::parse(&text).expect("baseline parses");
+    assert_eq!(
+        baseline.entries.len(),
+        report.baselined.len(),
+        "baseline entry count must equal baselined finding count"
+    );
+    for finding in &report.baselined {
+        assert!(
+            baseline.contains(&finding.fingerprint),
+            "baselined finding missing from file: {finding}"
+        );
+    }
+}
+
+#[test]
+fn findings_artifact_renders_valid_json() {
+    let report = datagrid_lint::run(workspace_root()).expect("workspace walks cleanly");
+    let text = datagrid_lint::render_findings_json(&report);
+    let doc = datagrid_lint::json::parse(&text).expect("artifact is valid JSON");
+    let findings = doc
+        .get("findings")
+        .and_then(datagrid_lint::json::Json::as_arr)
+        .expect("findings array");
+    assert_eq!(
+        findings.len(),
+        report.findings.len() + report.baselined.len()
     );
 }
 

@@ -109,11 +109,12 @@ impl MaxMinSolver {
     /// Buffers retain the high-water flow/link counts otherwise; the
     /// engine calls this from [`crate::engine::NetSim::shrink_scratch`].
     pub fn shrink(&mut self) {
-        self.rate = Vec::new();
+        // Each allow covers its own line and the next:
+        self.rate = Vec::new(); // lint: allow(alloc-in-hot-path) -- Vec::new is alloc-free; shrink releases capacity
         self.frozen = Vec::new();
-        self.cap = Vec::new();
+        self.cap = Vec::new(); // lint: allow(alloc-in-hot-path) -- Vec::new is alloc-free; shrink releases capacity
         self.remaining = Vec::new();
-        self.users = Vec::new();
+        self.users = Vec::new(); // lint: allow(alloc-in-hot-path) -- Vec::new is alloc-free; shrink releases capacity
     }
 
     /// Computes the max-min fair allocation for `n` flows.

@@ -25,11 +25,14 @@ step_bench_build() { step bench-build cargo build -p datagrid-bench; }
 step_test() { step test cargo test -q; }
 step_fmt() { step fmt cargo fmt --check; }
 step_clippy() { step clippy cargo clippy --all-targets -- -D warnings; }
-# Source conformance: denied patterns (unwrap/expect/panic outside tests,
-# wall clocks in simulation crates, HashMap on export paths, println in
-# libraries, missing forbid(unsafe_code)) fail unless allowlisted with an
-# audited reason in lint-allow.txt.
-step_lint() { step lint cargo run -q -p datagrid-lint -- --deny-all; }
+# Token-level static analysis: the v1 pattern rules plus hot-path
+# allocation tracking (`// lint: hot-path` roots + call-graph
+# reachability), determinism rules (hash containers on export paths),
+# float comparisons and narrowing casts. New findings fail against the
+# ratcheting fingerprint baseline in ci/lint_baseline.json (which may
+# only shrink); site/file suppressions need an audited reason. The JSON
+# findings artifact lands in target/lint_findings.json for upload.
+step_lint() { step lint cargo run -q -p datagrid-lint -- --deny --json target/lint_findings.json; }
 # Max-min certificate enforcement in release mode: the `validate` feature
 # keeps the solver's per-settle certificate check on where
 # debug_assertions would normally turn it off, then re-runs the simnet
